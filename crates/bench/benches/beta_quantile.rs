@@ -1,0 +1,36 @@
+//! Microbenchmarks of the numerical hot path: the Beta CDF and its
+//! inversion, which every robust estimate performs once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rqo_math::BetaDistribution;
+
+fn bench_beta(c: &mut Criterion) {
+    let posteriors = [
+        ("n100_k10", BetaDistribution::new(10.5, 90.5)),
+        ("n500_k50", BetaDistribution::new(50.5, 450.5)),
+        ("n2500_k2", BetaDistribution::new(2.5, 2498.5)),
+    ];
+
+    let mut group = c.benchmark_group("beta_cdf");
+    for (name, d) in &posteriors {
+        group.bench_function(*name, |b| {
+            b.iter(|| std::hint::black_box(d.cdf(std::hint::black_box(0.1))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("beta_quantile");
+    for (name, d) in &posteriors {
+        group.bench_function(*name, |b| {
+            b.iter(|| std::hint::black_box(d.quantile(std::hint::black_box(0.8))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_beta
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! §6.1 microbenchmark: cost of one cardinality-estimation call, robust
+//! sampling vs. histogram baseline.
+//!
+//! The paper reports ~30–40% extra *optimization* time for its sampling
+//! prototype; the per-call gap here is the dominant component (evaluating
+//! a predicate on 500 sample tuples plus a Beta quantile, vs. a couple of
+//! histogram bucket walks).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rqo_core::{
+    CardinalityEstimator, ConfidenceThreshold, EstimationRequest, EstimatorConfig,
+    HistogramEstimator, RobustEstimator,
+};
+use rqo_datagen::{workload, TpchConfig, TpchData};
+use rqo_stats::SynopsisRepository;
+
+fn bench_estimation(c: &mut Criterion) {
+    let catalog = Arc::new(
+        TpchData::generate(&TpchConfig {
+            scale_factor: 0.02,
+            seed: 42,
+        })
+        .into_catalog(),
+    );
+    let repo = Arc::new(SynopsisRepository::build_all(&catalog, 500, 1));
+    let robust = RobustEstimator::new(
+        Arc::clone(&repo),
+        EstimatorConfig::with_threshold(ConfidenceThreshold::new(0.8)),
+    );
+    let hist = HistogramEstimator::build_default(&catalog);
+
+    let single_pred = workload::exp1_lineitem_predicate(80);
+    let join_pred = workload::exp2_part_predicate(250);
+
+    let mut group = c.benchmark_group("estimate_single_table");
+    group.bench_function("robust_500", |b| {
+        let req = EstimationRequest::single("lineitem", &single_pred);
+        b.iter(|| std::hint::black_box(robust.estimate(&req).selectivity))
+    });
+    group.bench_function("histogram", |b| {
+        let req = EstimationRequest::single("lineitem", &single_pred);
+        b.iter(|| std::hint::black_box(hist.estimate(&req).selectivity))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("estimate_three_way_join");
+    group.bench_function("robust_500", |b| {
+        let req = EstimationRequest::new(
+            vec!["lineitem", "orders", "part"],
+            vec![("part", &join_pred)],
+        );
+        b.iter(|| std::hint::black_box(robust.estimate(&req).selectivity))
+    });
+    group.bench_function("histogram", |b| {
+        let req = EstimationRequest::new(
+            vec!["lineitem", "orders", "part"],
+            vec![("part", &join_pred)],
+        );
+        b.iter(|| std::hint::black_box(hist.estimate(&req).selectivity))
+    });
+    group.finish();
+
+    // Sample-size scaling of the robust path.
+    let mut group = c.benchmark_group("estimate_by_sample_size");
+    for n in [100usize, 500, 2500] {
+        let repo = Arc::new(SynopsisRepository::build_all(&catalog, n, 2));
+        let est = RobustEstimator::new(
+            repo,
+            EstimatorConfig::with_threshold(ConfidenceThreshold::new(0.8)),
+        );
+        group.bench_function(format!("n{n}"), |b| {
+            let req = EstimationRequest::single("lineitem", &single_pred);
+            b.iter(|| std::hint::black_box(est.estimate(&req).selectivity))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_estimation
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Benchmark of the offline precomputation phase (§3.2): join-synopsis
+//! construction across sample sizes, and histogram construction for
+//! comparison — the paper's `UPDATE STATISTICS` analogue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rqo_core::HistogramEstimator;
+use rqo_datagen::{TpchConfig, TpchData};
+use rqo_stats::JoinSynopsis;
+
+fn bench_build(c: &mut Criterion) {
+    let catalog = TpchData::generate(&TpchConfig {
+        scale_factor: 0.02, // ~120k lineitem
+        seed: 7,
+    })
+    .into_catalog();
+
+    let mut group = c.benchmark_group("synopsis_build_lineitem");
+    group.sample_size(20);
+    for n in [100usize, 500, 2500] {
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| std::hint::black_box(JoinSynopsis::build(&catalog, "lineitem", n, 1)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("histogram_build_all");
+    group.sample_size(10);
+    group.bench_function("buckets250", |b| {
+        b.iter(|| std::hint::black_box(HistogramEstimator::build_default(&catalog)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

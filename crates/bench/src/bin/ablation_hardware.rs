@@ -1,0 +1,58 @@
+//! Hardware ablation (beyond the paper): the robustness problem is a
+//! function of the storage cost asymmetry.
+//!
+//! The paper's plan-choice dilemma exists because a mispredicted index
+//! plan pays ~3.5 ms per extra row while a scan's cost is flat — a
+//! steep-vs-flat geometry with a crossover at fractions of a percent,
+//! where estimates are noisiest.  On low-latency storage
+//! ([`CostParams::nvme_ssd`]) the per-row gap shrinks by an order of
+//! magnitude, the crossover moves to percent-level selectivities, and —
+//! exactly as the paper's own §5.2.3 analysis predicts for high
+//! crossovers — the confidence threshold stops mattering.
+//!
+//! Output: the Experiment-1 workload summary (avg, std) per threshold,
+//! once under the 2005-disk parameters and once under the NVMe-like
+//! parameters (times are not comparable across the two — only the spread
+//! across thresholds within each is).
+
+use rqo_bench::harness::{run_scenario, write_csv, RunConfig};
+use rqo_bench::scenarios::{exp1_queries, tpch_catalog};
+use rqo_storage::CostParams;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let catalog = tpch_catalog(&cfg);
+    let queries = exp1_queries(&catalog);
+
+    let mut rows = Vec::new();
+    for (hw, params) in [
+        ("disk-2005", CostParams::default()),
+        ("nvme-ssd", CostParams::nvme_ssd()),
+    ] {
+        let result = run_scenario(&catalog, &params, &queries, &cfg);
+        // Relative spread of per-threshold means: how much the knob moves
+        // outcomes on this hardware.
+        let robust_means: Vec<f64> = result
+            .summary
+            .iter()
+            .filter(|(l, _, _)| l != "histogram")
+            .map(|(_, mean, _)| *mean)
+            .collect();
+        let lo = robust_means.iter().fold(f64::MAX, |a, &b| a.min(b));
+        let hi = robust_means.iter().fold(f64::MIN, |a, &b| a.max(b));
+        println!(
+            "# {hw}: threshold sweep moves the workload mean by {:.1}% \
+             (min {lo:.4}s, max {hi:.4}s)",
+            (hi - lo) / lo * 100.0
+        );
+        for (label, mean, std) in &result.summary {
+            rows.push(format!("{hw},{label},{mean:.4},{std:.4}"));
+        }
+    }
+    write_csv(
+        &cfg,
+        "ablation_hardware",
+        "hardware,estimator,avg_time_s,std_dev_s",
+        &rows,
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 5: effect of the confidence threshold (analytical model, §5.2.1).
+//!
+//! Expected execution time vs. true selectivity (0–1% in 0.05% steps) for
+//! confidence thresholds 5/20/50/80/95%, with a 1000-tuple sample.  Low
+//! thresholds overshoot at high selectivities (they gamble on the index
+//! plan); T=95% never gambles and pins to the sequential scan.
+
+use rqo_bench::analytic::{paper_selectivity_grid, AnalyticModel};
+use rqo_bench::harness::{write_csv, RunConfig};
+use rqo_core::{ConfidenceThreshold, Prior};
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let model = AnalyticModel::paper_default();
+    let thresholds = [0.05, 0.20, 0.50, 0.80, 0.95];
+    let grid = paper_selectivity_grid();
+
+    let rows: Vec<String> = grid
+        .iter()
+        .map(|&p| {
+            let means: Vec<String> = thresholds
+                .iter()
+                .map(|&t| {
+                    let stats = model.execution_stats(
+                        p,
+                        1000,
+                        ConfidenceThreshold::new(t),
+                        Prior::Jeffreys,
+                    );
+                    format!("{:.3}", stats.mean())
+                })
+                .collect();
+            format!("{:.4},{}", p, means.join(","))
+        })
+        .collect();
+    let header = format!(
+        "selectivity,{}",
+        thresholds
+            .iter()
+            .map(|t| format!("T{}", t * 100.0))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    write_csv(&cfg, "fig05_confidence_threshold", &header, &rows);
+
+    // The T=95% property the paper calls out explicitly.
+    let p95 = model.plan_probabilities(
+        0.0005,
+        1000,
+        ConfidenceThreshold::new(0.95),
+        Prior::Jeffreys,
+    );
+    println!(
+        "# P(risky plan | T=95%, p=0.05%) = {:.2e} (paper: never selected)",
+        p95[1]
+    );
+    println!(
+        "# crossover p_c = {:.4}% (paper: ~0.14%)",
+        model.crossover() * 100.0
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 6: the performance/predictability trade-off (analytical model).
+//!
+//! For each confidence threshold, the mean and standard deviation of
+//! execution time over a workload whose selectivities are uniform on the
+//! Figure 5 grid.  Expected shape: std-dev falls monotonically as T
+//! rises; the lowest mean sits at a moderate threshold (the paper found
+//! T=80% best, not the unbiased 50%).
+
+use rqo_bench::analytic::{paper_selectivity_grid, AnalyticModel};
+use rqo_bench::harness::{write_csv, RunConfig};
+use rqo_core::{ConfidenceThreshold, Prior};
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let model = AnalyticModel::paper_default();
+    let grid = paper_selectivity_grid();
+    let thresholds = [0.05, 0.20, 0.50, 0.80, 0.95];
+
+    let mut best: Option<(f64, f64)> = None;
+    let rows: Vec<String> = thresholds
+        .iter()
+        .map(|&t| {
+            let stats =
+                model.workload_stats(&grid, 1000, ConfidenceThreshold::new(t), Prior::Jeffreys);
+            if best.is_none() || stats.mean() < best.unwrap().1 {
+                best = Some((t, stats.mean()));
+            }
+            format!("{},{:.3},{:.3}", t * 100.0, stats.mean(), stats.std_dev())
+        })
+        .collect();
+    write_csv(
+        &cfg,
+        "fig06_tradeoff",
+        "threshold_pct,avg_time_s,std_dev_s",
+        &rows,
+    );
+    let (t, m) = best.expect("nonempty sweep");
+    println!(
+        "# lowest average time at T={}% ({:.2}s) — paper: T=80% beats both extremes",
+        t * 100.0,
+        m
+    );
+}

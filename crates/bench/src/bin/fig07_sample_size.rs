@@ -1,0 +1,53 @@
+//! Figure 7: effect of sample size (analytical model, §5.2.2).
+//!
+//! Expected execution time vs. true selectivity at a fixed T = 50% for
+//! sample sizes 100–6000.  Larger samples localize the plan switch at the
+//! crossover; 500 tuples is the knee of diminishing returns the paper
+//! uses to justify its default.
+
+use rqo_bench::analytic::{paper_selectivity_grid, AnalyticModel};
+use rqo_bench::harness::{write_csv, RunConfig};
+use rqo_core::{ConfidenceThreshold, Prior};
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let model = AnalyticModel::paper_default();
+    let sizes = [100u64, 250, 500, 1000, 6000];
+    let t = ConfidenceThreshold::new(0.5);
+    let grid = paper_selectivity_grid();
+
+    let rows: Vec<String> = grid
+        .iter()
+        .map(|&p| {
+            let means: Vec<String> = sizes
+                .iter()
+                .map(|&n| {
+                    format!(
+                        "{:.3}",
+                        model.execution_stats(p, n, t, Prior::Jeffreys).mean()
+                    )
+                })
+                .collect();
+            format!("{:.4},{}", p, means.join(","))
+        })
+        .collect();
+    let header = format!(
+        "selectivity,{}",
+        sizes
+            .iter()
+            .map(|n| format!("n{n}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    write_csv(&cfg, "fig07_sample_size", &header, &rows);
+
+    // Knee check at a below-crossover selectivity.
+    let mean_at = |n: u64| model.execution_stats(0.0005, n, t, Prior::Jeffreys).mean();
+    println!(
+        "# E[time] at p=0.05%: n=100 -> {:.2}s, n=500 -> {:.2}s, n=6000 -> {:.2}s \
+         (paper: little benefit beyond 500)",
+        mean_at(100),
+        mean_at(500),
+        mean_at(6000)
+    );
+}

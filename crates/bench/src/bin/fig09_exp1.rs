@@ -1,0 +1,40 @@
+//! Figure 9: Experiment 1 — the two-predicate `lineitem` query (§6.2.1),
+//! run end-to-end through the real optimizer and simulated executor.
+//!
+//! * `fig09a`: average execution time vs. true joint selectivity for each
+//!   confidence threshold plus the histogram baseline.
+//! * `fig09b`: the per-estimator (average, std-dev) trade-off scatter.
+//!
+//! Expected shapes: the histogram baseline always picks index
+//! intersection (its AVI estimate never moves) and degrades sharply at
+//! higher selectivities; variance falls as T rises; the best average sits
+//! around T=80%.
+
+use rqo_bench::harness::{points_csv, run_scenario, summary_csv, write_csv, RunConfig};
+use rqo_bench::scenarios::{exp1_queries, tpch_catalog};
+use rqo_storage::CostParams;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let catalog = tpch_catalog(&cfg);
+    let queries = exp1_queries(&catalog);
+    eprintln!(
+        "# exp1: {} query instances over lineitem ({} rows), {} repeats",
+        queries.len(),
+        catalog.table("lineitem").expect("lineitem").num_rows(),
+        cfg.repeats
+    );
+    let result = run_scenario(&catalog, &CostParams::default(), &queries, &cfg);
+    write_csv(
+        &cfg,
+        "fig09a_exp1_selectivity_vs_time",
+        "estimator,selectivity,avg_time_s,std_dev_s,dominant_plan",
+        &points_csv(&result),
+    );
+    write_csv(
+        &cfg,
+        "fig09b_exp1_tradeoff",
+        "estimator,avg_time_s,std_dev_s",
+        &summary_csv(&result),
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 12: effect of sample size on Experiment 1 (§6.2.4).
+//!
+//! The single-table scenario at a fixed T = 50%, with sample sizes from
+//! 50 to 2500 tuples.  Each size contributes one (average, std-dev)
+//! point.  Expected shape: larger samples improve both axes, except the
+//! 50-tuple outlier — with so little evidence the posterior can never
+//! clear the crossover, so the optimizer always plays safe
+//! (ultra-predictable, mildly slow): the paper's "self-adjusting"
+//! behaviour.
+
+use rqo_bench::harness::{run_scenario, write_csv, RunConfig};
+use rqo_bench::scenarios::{exp1_queries, tpch_catalog};
+use rqo_storage::CostParams;
+
+fn main() {
+    let base = RunConfig::from_args();
+    let catalog = tpch_catalog(&base);
+    let queries = exp1_queries(&catalog);
+    let sizes = [50usize, 100, 250, 500, 1000, 2500];
+
+    let mut rows = Vec::new();
+    for &size in &sizes {
+        let cfg = RunConfig {
+            sample_size: size,
+            thresholds: vec![0.5],
+            ..base.clone()
+        };
+        let result = run_scenario(&catalog, &CostParams::default(), &queries, &cfg);
+        for (label, mean, std) in &result.summary {
+            let series = if label == "histogram" {
+                // The baseline is size-independent; record it once.
+                if size != sizes[0] {
+                    continue;
+                }
+                "histogram".to_string()
+            } else {
+                format!("n={size}")
+            };
+            rows.push(format!("{series},{mean:.4},{std:.4}"));
+        }
+        // The self-adjustment diagnostic: fraction of plan choices that
+        // were the safe sequential scan at this size.
+        let safe = result
+            .points
+            .iter()
+            .filter(|p| p.estimator != "histogram")
+            .filter(|p| p.dominant_shape.contains("seqscan"))
+            .count();
+        let total = result
+            .points
+            .iter()
+            .filter(|p| p.estimator != "histogram")
+            .count();
+        eprintln!("# n={size}: {safe}/{total} points dominated by the safe plan");
+    }
+    write_csv(
+        &base,
+        "fig12_sample_size_tradeoff",
+        "sample_size,avg_time_s,std_dev_s",
+        &rows,
+    );
+}

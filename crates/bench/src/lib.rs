@@ -1,0 +1,24 @@
+//! Experiment harness: regenerates every figure of the paper's
+//! evaluation.
+//!
+//! Two kinds of artifacts are reproduced:
+//!
+//! * **Analytical figures (1–8)** — closed-form computations over the
+//!   paper's §5 linear cost model: plan cost curves, posterior densities,
+//!   and expected execution times under the binomial sampling model
+//!   ([`analytic`]).
+//! * **System figures (9–12)** — end-to-end sweeps that generate data,
+//!   build statistics, *optimize and execute* each query under every
+//!   confidence threshold plus the histogram baseline, and report
+//!   average/standard deviation of simulated execution time
+//!   ([`scenarios`], [`harness`]).
+//!
+//! Each `fig*` binary prints a CSV series to stdout and writes it under
+//! `results/` (override with `--out`); `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod harness;
+pub mod scenarios;

@@ -1,0 +1,150 @@
+//! The paper's three experimental scenarios (§6.2), expressed as query
+//! sweeps for [`crate::harness::run_scenario`].
+
+use std::sync::Arc;
+
+use rqo_core::{EstimationRequest, OracleEstimator};
+use rqo_datagen::{workload, StarConfig, StarData, TpchConfig, TpchData};
+use rqo_exec::AggExpr;
+use rqo_optimizer::Query;
+use rqo_storage::Catalog;
+
+use crate::harness::RunConfig;
+
+use rqo_core::CardinalityEstimator as _;
+
+/// Builds the TPC-H-like catalog for Experiments 1 and 2.
+pub fn tpch_catalog(cfg: &RunConfig) -> Arc<Catalog> {
+    Arc::new(
+        TpchData::generate(&TpchConfig {
+            scale_factor: cfg.scale_factor,
+            seed: cfg.seed,
+        })
+        .into_catalog(),
+    )
+}
+
+/// Builds the star-schema catalog for Experiment 3.
+pub fn star_catalog(cfg: &RunConfig) -> Arc<Catalog> {
+    Arc::new(
+        StarData::generate(&StarConfig {
+            fact_rows: cfg.fact_rows,
+            seed: cfg.seed,
+        })
+        .into_catalog(),
+    )
+}
+
+/// Experiment 1 (§6.2.1): the two-predicate `lineitem` template swept
+/// over the receipt-window offset.  Returns `(true joint selectivity,
+/// query)` pairs, sorted by selectivity.
+pub fn exp1_queries(catalog: &Catalog) -> Vec<(f64, Query)> {
+    let lineitem = catalog.table("lineitem").expect("lineitem exists");
+    let mut out: Vec<(f64, Query)> = workload::exp1_offsets()
+        .into_iter()
+        .map(|offset| {
+            let pred = workload::exp1_lineitem_predicate(offset);
+            let x = workload::true_selectivity(lineitem, &pred);
+            let q = Query::over(&["lineitem"])
+                .filter("lineitem", pred)
+                .aggregate(AggExpr::sum("l_extendedprice", "revenue"));
+            (x, q)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.total_cmp(&b.0));
+    out
+}
+
+/// Experiment 2 (§6.2.2): `lineitem ⋈ orders ⋈ part` with the correlated
+/// `part` predicate swept over the `p_y` window start.  The x-axis is the
+/// true *join* selectivity (fraction of `lineitem` rows surviving), which
+/// tracks the `part` fraction because part keys are uniform.
+pub fn exp2_queries(catalog: &Catalog) -> Vec<(f64, Query)> {
+    let part = catalog.table("part").expect("part exists");
+    let mut out: Vec<(f64, Query)> = workload::exp2_window_starts()
+        .into_iter()
+        .map(|start| {
+            let pred = workload::exp2_part_predicate(start);
+            let x = workload::true_selectivity(part, &pred);
+            let q = Query::over(&["lineitem", "orders", "part"])
+                .filter("part", pred)
+                .aggregate(AggExpr::sum("l_extendedprice", "revenue"))
+                .aggregate(AggExpr::count_star("n"));
+            (x, q)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.total_cmp(&b.0));
+    out
+}
+
+/// Experiment 3 (§6.2.3): the four-table star join swept over the
+/// diagonal level.  The x-axis is the true fraction of fact rows
+/// participating in the join (measured exactly via the oracle).
+pub fn exp3_queries(catalog: &Arc<Catalog>) -> Vec<(f64, Query)> {
+    let oracle = OracleEstimator::new(Arc::clone(catalog));
+    let mut out: Vec<(f64, Query)> = workload::exp3_levels()
+        .into_iter()
+        .map(|level| {
+            let pred = workload::exp3_dim_predicate(level);
+            let request = EstimationRequest::new(
+                vec!["fact", "dim1", "dim2", "dim3"],
+                vec![("dim1", &pred), ("dim2", &pred), ("dim3", &pred)],
+            );
+            let x = oracle.estimate(&request).selectivity;
+            let mut q = Query::over(&["fact", "dim1", "dim2", "dim3"])
+                .aggregate(AggExpr::sum("f_measure1", "total"))
+                .aggregate(AggExpr::avg("f_measure2", "mean"));
+            for dim in ["dim1", "dim2", "dim3"] {
+                q = q.filter(dim, workload::exp3_dim_predicate(level));
+            }
+            (x, q)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.total_cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunConfig {
+        RunConfig {
+            scale_factor: 0.005,
+            fact_rows: 20_000,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn exp1_sweep_covers_crossover_region() {
+        let cat = tpch_catalog(&quick());
+        let qs = exp1_queries(&cat);
+        assert_eq!(qs.len(), workload::exp1_offsets().len());
+        // x ascending, starting at 0, reaching past the ~0.17% crossover.
+        assert!(qs.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(qs[0].0, 0.0);
+        assert!(qs.last().unwrap().0 > 0.002);
+        // Some point inside the paper's 0–0.6% band.
+        assert!(qs.iter().any(|(x, _)| *x > 0.0 && *x < 0.006));
+    }
+
+    #[test]
+    fn exp2_sweep_covers_crossover_region() {
+        let cat = tpch_catalog(&quick());
+        let qs = exp2_queries(&cat);
+        assert!(qs.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(qs[0].0, 0.0);
+        assert!(qs.iter().any(|(x, _)| *x > 0.0005 && *x < 0.006));
+    }
+
+    #[test]
+    fn exp3_sweep_matches_designed_fractions() {
+        let cat = star_catalog(&quick());
+        let qs = exp3_queries(&cat);
+        assert_eq!(qs.len(), 10);
+        assert!(qs.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Top level ≈ 10%.
+        assert!((qs.last().unwrap().0 - 0.10).abs() < 0.01);
+    }
+}

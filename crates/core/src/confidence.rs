@@ -1,0 +1,175 @@
+//! The confidence threshold — the paper's single robustness knob (§3.1).
+//!
+//! A threshold of `T` means: rank query plans by the `T`-percentile of
+//! their execution-cost distribution, i.e. assign each plan the cost the
+//! optimizer is `T`-percent confident will not be exceeded.  `T = 50%`
+//! ranks by median cost; higher `T` weights the right-hand tail (the
+//! "realistic worst case") and therefore favours plans whose cost is flat
+//! in selectivity.
+
+use crate::posterior::SelectivityPosterior;
+
+/// A confidence threshold in the open interval `(0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ConfidenceThreshold(f64);
+
+impl ConfidenceThreshold {
+    /// Creates a threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is not strictly inside `(0, 1)` — the endpoints
+    /// would demand certainty no finite sample provides.
+    pub fn new(t: f64) -> Self {
+        assert!(
+            t > 0.0 && t < 1.0 && t.is_finite(),
+            "confidence threshold {t} outside (0, 1)"
+        );
+        Self(t)
+    }
+
+    /// Creates a threshold from a percentage (e.g. `80.0` for 80%).
+    pub fn from_percent(pct: f64) -> Self {
+        Self::new(pct / 100.0)
+    }
+
+    /// The threshold as a probability in `(0, 1)`.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// The threshold as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.0 * 100.0
+    }
+}
+
+impl Default for ConfidenceThreshold {
+    /// The paper's recommended general-purpose baseline, `T = 80%`
+    /// (§6.2.5: "good performance and good predictability").
+    fn default() -> Self {
+        RobustnessLevel::Moderate.threshold()
+    }
+}
+
+impl std::fmt::Display for ConfidenceThreshold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T={}%", self.percent())
+    }
+}
+
+/// The paper's proposed administrator-facing presets (§6.2.5): a system
+/// configuration parameter set to conservative / moderate / aggressive,
+/// overridable per query with a hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RobustnessLevel {
+    /// `T = 95%`: very stable plans, few surprises; for workloads where
+    /// predictability is paramount.
+    Conservative,
+    /// `T = 80%`: the recommended general-purpose baseline.
+    Moderate,
+    /// `T = 50%`: median-cost ranking; speculative thresholds below 50%
+    /// are "of limited applicability" per the paper.
+    Aggressive,
+}
+
+impl RobustnessLevel {
+    /// The threshold this preset denotes.
+    pub fn threshold(&self) -> ConfidenceThreshold {
+        match self {
+            RobustnessLevel::Conservative => ConfidenceThreshold::new(0.95),
+            RobustnessLevel::Moderate => ConfidenceThreshold::new(0.80),
+            RobustnessLevel::Aggressive => ConfidenceThreshold::new(0.50),
+        }
+    }
+}
+
+/// Computes the `T`-percentile of a plan's execution-*cost* distribution
+/// by the paper's §3.1.1 shortcut: because cost is monotone non-decreasing
+/// in selectivity, the cost percentile equals the cost function applied to
+/// the selectivity percentile — one quantile inversion plus one ordinary
+/// cost-model call, with no distribution plumbed through the optimizer.
+///
+/// `cost_fn` is the plan's cost as a function of selectivity (the cost
+/// model's `g(s)`).
+pub fn cost_at_threshold(
+    posterior: &SelectivityPosterior,
+    t: ConfidenceThreshold,
+    cost_fn: impl Fn(f64) -> f64,
+) -> f64 {
+    cost_fn(posterior.at_threshold(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::Prior;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = ConfidenceThreshold::new(0.8);
+        assert_eq!(t.value(), 0.8);
+        assert_eq!(t.percent(), 80.0);
+        assert_eq!(ConfidenceThreshold::from_percent(95.0).value(), 0.95);
+        assert_eq!(t.to_string(), "T=80%");
+        assert_eq!(ConfidenceThreshold::default().value(), 0.80);
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(RobustnessLevel::Conservative.threshold().percent(), 95.0);
+        assert_eq!(RobustnessLevel::Moderate.threshold().percent(), 80.0);
+        assert_eq!(RobustnessLevel::Aggressive.threshold().percent(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn rejects_zero() {
+        ConfidenceThreshold::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn rejects_one() {
+        ConfidenceThreshold::new(1.0);
+    }
+
+    #[test]
+    fn shortcut_equals_direct_cost_percentile() {
+        // Verify §3.1.1: percentile-of-cost == cost-of-percentile for a
+        // monotone cost function, by computing the cost percentile the
+        // "roundabout" way (inverting the cost CDF numerically).
+        let posterior = SelectivityPosterior::from_observation(50, 200, Prior::Jeffreys);
+        let cost_fn = |s: f64| 5.0 + 120.0 * s; // linear, increasing
+        for pct in [0.2, 0.5, 0.8, 0.95] {
+            let t = ConfidenceThreshold::new(pct);
+            let shortcut = cost_at_threshold(&posterior, t, cost_fn);
+            // Direct: find cost c with Pr[cost <= c] = Pr[s <= g^{-1}(c)] = pct
+            // by bisection over c.
+            let (mut lo, mut hi) = (5.0f64, 125.0f64);
+            for _ in 0..100 {
+                let mid = 0.5 * (lo + hi);
+                let s = (mid - 5.0) / 120.0;
+                if posterior.cdf(s) < pct {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let direct = 0.5 * (lo + hi);
+            assert!(
+                (shortcut - direct).abs() < 1e-6,
+                "pct {pct}: shortcut {shortcut} vs direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_threshold_higher_cost() {
+        let posterior = SelectivityPosterior::from_observation(5, 500, Prior::Jeffreys);
+        let cost_fn = |s: f64| 1.0 + 1000.0 * s;
+        let c50 = cost_at_threshold(&posterior, ConfidenceThreshold::new(0.5), cost_fn);
+        let c95 = cost_at_threshold(&posterior, ConfidenceThreshold::new(0.95), cost_fn);
+        assert!(c95 > c50);
+    }
+}

@@ -1,0 +1,203 @@
+//! Prior distributions over selectivity (paper §3.3).
+//!
+//! Bayes's rule needs a prior `f(z)` over the unknown selectivity.  With no
+//! workload knowledge, the paper adopts the **Jeffreys prior** — the
+//! standard non-informative choice, `Beta(1/2, 1/2)` for a Bernoulli
+//! process — and notes that the **uniform prior** `Beta(1, 1)` gives nearly
+//! identical results (Figure 4).  Workload knowledge can be encoded as an
+//! arbitrary Beta prior.
+
+use rqo_math::BetaDistribution;
+
+/// A conjugate (Beta) prior over selectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Prior {
+    /// Jeffreys's non-informative prior, `Beta(1/2, 1/2)` — the paper's
+    /// default.
+    #[default]
+    Jeffreys,
+    /// The uniform prior, `Beta(1, 1)`: all selectivities equally likely.
+    Uniform,
+    /// A custom Beta prior encoding workload knowledge.
+    Custom {
+        /// First shape parameter (> 0).
+        alpha: f64,
+        /// Second shape parameter (> 0).
+        beta: f64,
+    },
+}
+
+impl Prior {
+    /// A custom prior with the given pseudo-counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either shape is non-positive or non-finite.
+    pub fn custom(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha > 0.0 && beta > 0.0 && alpha.is_finite() && beta.is_finite(),
+            "invalid prior shapes ({alpha}, {beta})"
+        );
+        Prior::Custom { alpha, beta }
+    }
+
+    /// Fits a workload-informed prior from historically observed
+    /// selectivities by Beta moment matching (the paper's §3.3: "If we
+    /// have some prior knowledge about the query workload, we may be able
+    /// to use that knowledge to estimate f(z)").
+    ///
+    /// The fitted prior's weight is capped at `max_weight`
+    /// pseudo-observations so that stale workload knowledge can never
+    /// overwhelm fresh sample evidence; pass `f64::INFINITY` to disable
+    /// the cap.  Falls back to Jeffreys when fewer than two observations
+    /// are given or when the history is degenerate (zero variance, or all
+    /// mass on the boundary).
+    pub fn fit_from_history(selectivities: &[f64], max_weight: f64) -> Self {
+        assert!(max_weight > 0.0, "max_weight must be positive");
+        if selectivities.len() < 2 {
+            return Prior::Jeffreys;
+        }
+        assert!(
+            selectivities.iter().all(|&s| (0.0..=1.0).contains(&s)),
+            "selectivities must lie in [0, 1]"
+        );
+        let n = selectivities.len() as f64;
+        let mean: f64 = selectivities.iter().sum::<f64>() / n;
+        let var: f64 = selectivities
+            .iter()
+            .map(|&s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
+        if var <= 1e-12 || mean <= 0.0 || mean >= 1.0 {
+            return Prior::Jeffreys;
+        }
+        // Moment matching: mean = a/(a+b), var = ab/((a+b)^2 (a+b+1)).
+        let weight = (mean * (1.0 - mean) / var - 1.0).max(0.0);
+        if weight <= 0.0 {
+            return Prior::Jeffreys;
+        }
+        let weight = weight.min(max_weight);
+        let (alpha, beta) = (mean * weight, (1.0 - mean) * weight);
+        if alpha <= 0.0 || beta <= 0.0 {
+            return Prior::Jeffreys;
+        }
+        Prior::Custom { alpha, beta }
+    }
+
+    /// The Beta shape parameters `(α₀, β₀)`.
+    pub fn shape(&self) -> (f64, f64) {
+        match self {
+            Prior::Jeffreys => (0.5, 0.5),
+            Prior::Uniform => (1.0, 1.0),
+            Prior::Custom { alpha, beta } => (*alpha, *beta),
+        }
+    }
+
+    /// The prior as a distribution (before observing any sample).
+    pub fn distribution(&self) -> BetaDistribution {
+        let (a, b) = self.shape();
+        BetaDistribution::new(a, b)
+    }
+
+    /// The prior's "pseudo-sample size" `α₀ + β₀` — how many observations
+    /// the prior is worth.  Non-informative priors are worth ≤ 2 tuples,
+    /// which is why the choice barely matters at realistic sample sizes
+    /// (the paper's Figure 4).
+    pub fn weight(&self) -> f64 {
+        let (a, b) = self.shape();
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        assert_eq!(Prior::Jeffreys.shape(), (0.5, 0.5));
+        assert_eq!(Prior::Uniform.shape(), (1.0, 1.0));
+        assert_eq!(Prior::custom(2.0, 8.0).shape(), (2.0, 8.0));
+        assert_eq!(Prior::default(), Prior::Jeffreys);
+    }
+
+    #[test]
+    fn weights() {
+        assert_eq!(Prior::Jeffreys.weight(), 1.0);
+        assert_eq!(Prior::Uniform.weight(), 2.0);
+        assert_eq!(Prior::custom(3.0, 7.0).weight(), 10.0);
+    }
+
+    #[test]
+    fn distribution_moments() {
+        let d = Prior::custom(2.0, 8.0).distribution();
+        assert!((d.mean() - 0.2).abs() < 1e-12);
+        let u = Prior::Uniform.distribution();
+        assert!((u.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid prior shapes")]
+    fn rejects_bad_custom() {
+        Prior::custom(-1.0, 1.0);
+    }
+
+    #[test]
+    fn fit_recovers_workload_shape() {
+        // History concentrated around 10%: the fitted prior's mean must be
+        // ~0.1 and its weight substantial.
+        let history = [0.08, 0.09, 0.10, 0.11, 0.12, 0.10, 0.095, 0.105];
+        let prior = Prior::fit_from_history(&history, f64::INFINITY);
+        let d = prior.distribution();
+        assert!((d.mean() - 0.1).abs() < 0.005, "mean {}", d.mean());
+        assert!(prior.weight() > 50.0, "weight {}", prior.weight());
+    }
+
+    #[test]
+    fn fit_weight_is_capped() {
+        let history = [0.0999, 0.1, 0.1001, 0.1, 0.0999, 0.1001];
+        let prior = Prior::fit_from_history(&history, 20.0);
+        assert!(prior.weight() <= 20.0 + 1e-9, "weight {}", prior.weight());
+        let d = prior.distribution();
+        assert!((d.mean() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn fit_degenerate_histories_fall_back_to_jeffreys() {
+        assert_eq!(Prior::fit_from_history(&[], 100.0), Prior::Jeffreys);
+        assert_eq!(Prior::fit_from_history(&[0.5], 100.0), Prior::Jeffreys);
+        // Zero variance.
+        assert_eq!(
+            Prior::fit_from_history(&[0.2, 0.2, 0.2], 100.0),
+            Prior::Jeffreys
+        );
+        // All mass on a boundary.
+        assert_eq!(
+            Prior::fit_from_history(&[0.0, 0.0, 0.0], 100.0),
+            Prior::Jeffreys
+        );
+        // Variance too large for any Beta (mean 0.5, var 0.25 ⇒ weight 0).
+        assert_eq!(
+            Prior::fit_from_history(&[0.0, 1.0, 0.0, 1.0], 100.0),
+            Prior::Jeffreys
+        );
+    }
+
+    #[test]
+    fn fitted_prior_sharpens_posterior_for_matching_workload() {
+        use crate::posterior::SelectivityPosterior;
+        let history = [0.09, 0.10, 0.11, 0.10, 0.095, 0.105, 0.1, 0.102];
+        let fitted = Prior::fit_from_history(&history, 200.0);
+        // A small sample consistent with the workload: the fitted prior
+        // yields a tighter posterior than Jeffreys.
+        let with_fit = SelectivityPosterior::from_observation(2, 20, fitted);
+        let with_jeffreys = SelectivityPosterior::from_observation(2, 20, Prior::Jeffreys);
+        assert!(with_fit.std_dev() < with_jeffreys.std_dev());
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivities must lie in [0, 1]")]
+    fn fit_rejects_out_of_range() {
+        Prior::fit_from_history(&[0.5, 1.5], 100.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Star-schema generator (Experiment 3, paper §6.2.3).
+//!
+//! One fact table with three dimension FKs, three 1000-row dimension
+//! tables.  Each dimension carries an attribute `d_attr ∈ {0..9}` that
+//! partitions its keys into ten 100-key blocks, so a filter `d_attr = i`
+//! always selects exactly 10% of the dimension.
+//!
+//! The fact-table joint distribution is handcrafted: a fraction
+//! `diag_fraction(i) ≈ 0.1 · (i/9)²` of fact rows are "diagonal" at level
+//! `i` — all three FKs point into block `i` of their dimensions — and the
+//! remaining rows draw blocks uniformly at random *excluding* same-block
+//! triples.  Consequently the star query that filters `d_attr = i` on all
+//! three dimensions matches exactly the level-`i` diagonal rows: the match
+//! fraction sweeps ≈0%…10% as `i` goes 0…9, while an AVI estimator always
+//! predicts `10%³ = 0.1%` (what the paper reports for the histogram-based
+//! optimizer).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rqo_storage::{Catalog, DataType, Schema, Table, TableBuilder, Value};
+
+/// Number of rows in each dimension table (paper: 1000).
+pub const DIM_ROWS: i64 = 1000;
+/// Number of attribute blocks per dimension (filter selects one = 10%).
+pub const DIM_BLOCKS: i64 = 10;
+/// Keys per block.
+pub const BLOCK_KEYS: i64 = DIM_ROWS / DIM_BLOCKS;
+
+/// Fraction of fact rows that are diagonal at level `i` (designed match
+/// fraction of the level-`i` star query): `0.1 · (i/9)²`, quadratic so the
+/// sweep is dense at the low-selectivity end where the plan crossover
+/// lives.
+pub fn diag_fraction(level: i64) -> f64 {
+    assert!(
+        (0..DIM_BLOCKS).contains(&level),
+        "level {level} out of range"
+    );
+    0.1 * (level as f64 / (DIM_BLOCKS - 1) as f64).powi(2)
+}
+
+/// Configuration for the star-schema generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StarConfig {
+    /// Number of fact rows (paper: 10,000,000).
+    pub fact_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StarConfig {
+    fn default() -> Self {
+        Self {
+            fact_rows: 100_000,
+            seed: 99,
+        }
+    }
+}
+
+/// The generated star schema.
+#[derive(Debug)]
+pub struct StarData {
+    /// The fact table (`fact`).
+    pub fact: Table,
+    /// The three dimension tables (`dim1`, `dim2`, `dim3`).
+    pub dims: [Table; 3],
+}
+
+impl StarData {
+    /// Generates the fact and dimension tables.
+    pub fn generate(config: &StarConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let dims = [
+            generate_dim("dim1", &mut rng),
+            generate_dim("dim2", &mut rng),
+            generate_dim("dim3", &mut rng),
+        ];
+        let fact = generate_fact(config, &mut rng);
+        Self { fact, dims }
+    }
+
+    /// Registers tables, the three FK edges, and nonclustered indexes on
+    /// each fact FK column (the physical design of §6.2.3).
+    pub fn into_catalog(self) -> Catalog {
+        let mut cat = Catalog::new();
+        let [d1, d2, d3] = self.dims;
+        cat.add_table(d1).expect("fresh catalog");
+        cat.add_table(d2).expect("fresh catalog");
+        cat.add_table(d3).expect("fresh catalog");
+        cat.add_table(self.fact).expect("fresh catalog");
+        for (col, dim) in [("f_key1", "dim1"), ("f_key2", "dim2"), ("f_key3", "dim3")] {
+            cat.add_foreign_key("fact", col, dim, "d_key")
+                .expect("valid FK");
+            cat.ensure_secondary_index("fact", col)
+                .expect("column exists");
+        }
+        cat
+    }
+}
+
+fn generate_dim(name: &str, rng: &mut StdRng) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("d_key", DataType::Int),
+        ("d_attr", DataType::Int),
+        ("d_label", DataType::Str),
+        ("d_weight", DataType::Float),
+    ]);
+    let mut b = TableBuilder::new(name, schema, DIM_ROWS as usize);
+    for key in 1..=DIM_ROWS {
+        let attr = (key - 1) / BLOCK_KEYS;
+        b.push_row(&[
+            Value::Int(key),
+            Value::Int(attr),
+            Value::str(format!("{name}-member-{key}").as_str()),
+            Value::Float(rng.gen_range(0.0..1.0)),
+        ]);
+    }
+    b.finish()
+}
+
+/// Draws a uniform key from block `block` of a dimension.
+fn key_in_block(rng: &mut StdRng, block: i64) -> i64 {
+    block * BLOCK_KEYS + rng.gen_range(1..=BLOCK_KEYS)
+}
+
+fn generate_fact(config: &StarConfig, rng: &mut StdRng) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("f_key1", DataType::Int),
+        ("f_key2", DataType::Int),
+        ("f_key3", DataType::Int),
+        ("f_measure1", DataType::Float),
+        ("f_measure2", DataType::Float),
+    ]);
+    // Cumulative diagonal fractions for the level draw.
+    let diag_cdf: Vec<f64> = (0..DIM_BLOCKS)
+        .scan(0.0, |acc, i| {
+            *acc += diag_fraction(i);
+            Some(*acc)
+        })
+        .collect();
+    let total_diag = *diag_cdf.last().expect("non-empty");
+
+    let mut b = TableBuilder::new("fact", schema, config.fact_rows);
+    for _ in 0..config.fact_rows {
+        let u: f64 = rng.gen();
+        let (b1, b2, b3) = if u < total_diag {
+            // Diagonal row at the level selected by the cdf.
+            let level = diag_cdf.partition_point(|&c| c < u) as i64;
+            (level, level, level)
+        } else {
+            // Off-diagonal: uniform triple, rejecting same-block triples so
+            // diagonal queries match exactly their designed fraction.
+            loop {
+                let t = (
+                    rng.gen_range(0..DIM_BLOCKS),
+                    rng.gen_range(0..DIM_BLOCKS),
+                    rng.gen_range(0..DIM_BLOCKS),
+                );
+                if !(t.0 == t.1 && t.1 == t.2) {
+                    break t;
+                }
+            }
+        };
+        b.push_row(&[
+            Value::Int(key_in_block(rng, b1)),
+            Value::Int(key_in_block(rng, b2)),
+            Value::Int(key_in_block(rng, b3)),
+            Value::Float(rng.gen_range(1.0..100.0)),
+            Value::Float(rng.gen_range(0.0..10.0)),
+        ]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> StarData {
+        StarData::generate(&StarConfig {
+            fact_rows: 50_000,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn dimension_structure() {
+        let d = data();
+        for dim in &d.dims {
+            assert_eq!(dim.num_rows(), 1000);
+            let key_idx = dim.schema().expect_index("d_key");
+            let attr_idx = dim.schema().expect_index("d_attr");
+            for rid in 0..1000u32 {
+                let key = dim.value(rid, key_idx).as_int();
+                let attr = dim.value(rid, attr_idx).as_int();
+                assert_eq!(attr, (key - 1) / 100, "key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn dim_filter_selects_ten_percent() {
+        let d = data();
+        let attr_idx = d.dims[0].schema().expect_index("d_attr");
+        for target in 0..10i64 {
+            let count = (0..1000u32)
+                .filter(|&rid| d.dims[0].value(rid, attr_idx).as_int() == target)
+                .count();
+            assert_eq!(count, 100);
+        }
+    }
+
+    #[test]
+    fn diagonal_match_fractions_follow_design() {
+        let d = data();
+        let n = d.fact.num_rows() as f64;
+        let k1 = d.fact.schema().expect_index("f_key1");
+        let k2 = d.fact.schema().expect_index("f_key2");
+        let k3 = d.fact.schema().expect_index("f_key3");
+        for level in [0i64, 3, 6, 9] {
+            let lo = level * 100 + 1;
+            let hi = (level + 1) * 100;
+            let matches = (0..d.fact.num_rows() as u32)
+                .filter(|&rid| {
+                    let a = d.fact.value(rid, k1).as_int();
+                    let b = d.fact.value(rid, k2).as_int();
+                    let c = d.fact.value(rid, k3).as_int();
+                    (lo..=hi).contains(&a) && (lo..=hi).contains(&b) && (lo..=hi).contains(&c)
+                })
+                .count() as f64;
+            let frac = matches / n;
+            let designed = diag_fraction(level);
+            assert!(
+                (frac - designed).abs() < 0.01,
+                "level {level}: measured {frac}, designed {designed}"
+            );
+        }
+    }
+
+    #[test]
+    fn fact_keys_reference_dimensions() {
+        let d = data();
+        for col in 0..3 {
+            for rid in (0..d.fact.num_rows() as u32).step_by(97) {
+                let key = d.fact.value(rid, col).as_int();
+                assert!((1..=1000).contains(&key), "fk {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_dim_marginal_close_to_designed() {
+        // P(f_key1 in block j) = diag_j + offdiag spread; with the quadratic
+        // diagonal design the marginal is not uniform, but must match the
+        // analytic value: diag_j + (1 - total_diag) * offdiag_j where
+        // offdiag_j accounts for the rejected same-block triples.
+        let d = data();
+        let n = d.fact.num_rows() as f64;
+        let k1 = d.fact.schema().expect_index("f_key1");
+        let total_diag: f64 = (0..10).map(diag_fraction).sum();
+        for block in [0i64, 9] {
+            let lo = block * 100 + 1;
+            let hi = (block + 1) * 100;
+            let count = (0..d.fact.num_rows() as u32)
+                .filter(|&rid| {
+                    let k = d.fact.value(rid, k1).as_int();
+                    (lo..=hi).contains(&k)
+                })
+                .count() as f64;
+            let frac = count / n;
+            // Off-diagonal: uniform over the 990 non-diagonal triples, 99 of
+            // which have b1 = block.
+            let expected = diag_fraction(block) + (1.0 - total_diag) * 99.0 / 990.0;
+            assert!(
+                (frac - expected).abs() < 0.01,
+                "block {block}: measured {frac}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_assembly() {
+        let cat = data().into_catalog();
+        assert_eq!(cat.foreign_keys().len(), 3);
+        assert!(cat.secondary_index("fact", "f_key2").is_some());
+        assert!(cat.unique_index("dim3", "d_key").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn diag_fraction_bounds() {
+        diag_fraction(10);
+    }
+}

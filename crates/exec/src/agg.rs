@@ -1,0 +1,304 @@
+//! Hash aggregation.
+
+use std::collections::HashMap;
+
+use rqo_storage::{ColumnMeta, CostTracker, DataType, Schema, Value};
+
+use crate::batch::Batch;
+use crate::plan::{AggExpr, AggFunc};
+
+/// Running state of one aggregate.
+#[derive(Debug, Clone)]
+enum AggState {
+    Sum(f64),
+    Count(u64),
+    Avg { sum: f64, count: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Sum => AggState::Sum(0.0),
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) {
+        match self {
+            AggState::Sum(acc) => {
+                let v = v.expect("SUM needs a column");
+                if !v.is_null() {
+                    *acc += v.as_f64();
+                }
+            }
+            AggState::Count(n) => {
+                // COUNT(*) counts rows; COUNT(col) skips NULLs.
+                if v.is_none() || v.is_some_and(|x| !x.is_null()) {
+                    *n += 1;
+                }
+            }
+            AggState::Avg { sum, count } => {
+                let v = v.expect("AVG needs a column");
+                if !v.is_null() {
+                    *sum += v.as_f64();
+                    *count += 1;
+                }
+            }
+            AggState::Min(cur) => {
+                let v = v.expect("MIN needs a column");
+                if !v.is_null()
+                    && cur
+                        .as_ref()
+                        .is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Less)
+                {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Max(cur) => {
+                let v = v.expect("MAX needs a column");
+                if !v.is_null()
+                    && cur
+                        .as_ref()
+                        .is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Greater)
+                {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Sum(acc) => Value::Float(acc),
+            AggState::Count(n) => Value::Int(n as i64),
+            AggState::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+
+    fn output_type(func: AggFunc) -> DataType {
+        match func {
+            AggFunc::Sum | AggFunc::Avg => DataType::Float,
+            AggFunc::Count => DataType::Int,
+            // MIN/MAX inherit their input type; reported as Float for the
+            // schema since the engine's numeric Values interconvert.  The
+            // actual Value keeps its native type.
+            AggFunc::Min | AggFunc::Max => DataType::Float,
+        }
+    }
+}
+
+/// Hash aggregation over `input`.
+///
+/// With an empty `group_by`, produces exactly one row (SQL scalar
+/// aggregate semantics — zero input rows still yield one output row of
+/// identity values).  Charges one hash insert per input row (group lookup
+/// + state update) and one CPU op per output row.
+///
+/// # Panics
+///
+/// Panics when a referenced column is missing, or when a non-COUNT
+/// aggregate omits its column.
+pub fn hash_aggregate(
+    tracker: &mut CostTracker,
+    input: Batch,
+    group_by: &[String],
+    aggregates: &[AggExpr],
+) -> Batch {
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| input.schema.expect_index(g))
+        .collect();
+    let agg_idx: Vec<Option<usize>> = aggregates
+        .iter()
+        .map(|a| a.column.as_ref().map(|c| input.schema.expect_index(c)))
+        .collect();
+
+    tracker.charge_hash_builds(input.len() as u64);
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    for row in &input.rows {
+        let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| aggregates.iter().map(|a| AggState::new(a.func)).collect());
+        for (state, idx) in states.iter_mut().zip(&agg_idx) {
+            state.update(idx.map(|i| &row[i]));
+        }
+    }
+    // Scalar aggregates over empty input still produce one group.
+    if group_by.is_empty() && groups.is_empty() {
+        groups.insert(
+            Vec::new(),
+            aggregates.iter().map(|a| AggState::new(a.func)).collect(),
+        );
+    }
+
+    let mut columns: Vec<ColumnMeta> = group_idx
+        .iter()
+        .map(|&i| input.schema.column(i).clone())
+        .collect();
+    for a in aggregates {
+        columns.push(ColumnMeta::new(
+            a.alias.clone(),
+            AggState::output_type(a.func),
+        ));
+    }
+    let schema = Schema::new(columns);
+
+    let mut rows: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|(mut key, states)| {
+            key.extend(states.into_iter().map(AggState::finish));
+            key
+        })
+        .collect();
+    // Deterministic output order for tests and reports.
+    rows.sort_by(|a, b| {
+        for i in 0..group_idx.len() {
+            let ord = a[i].total_cmp(&b[i]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    tracker.charge_cpu_ops(rows.len() as u64);
+    Batch::new(schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input() -> Batch {
+        Batch::new(
+            Schema::from_pairs(&[("g", DataType::Int), ("x", DataType::Float)]),
+            vec![
+                vec![Value::Int(1), Value::Float(10.0)],
+                vec![Value::Int(2), Value::Float(5.0)],
+                vec![Value::Int(1), Value::Float(30.0)],
+                vec![Value::Int(2), Value::Float(15.0)],
+                vec![Value::Int(1), Value::Float(20.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn scalar_aggregates() {
+        let mut tracker = CostTracker::new();
+        let out = hash_aggregate(
+            &mut tracker,
+            input(),
+            &[],
+            &[
+                AggExpr::sum("x", "total"),
+                AggExpr::count_star("n"),
+                AggExpr::avg("x", "mean"),
+                AggExpr::min("x", "lo"),
+                AggExpr::max("x", "hi"),
+            ],
+        );
+        assert_eq!(out.len(), 1);
+        let row = &out.rows[0];
+        assert_eq!(row[0], Value::Float(80.0));
+        assert_eq!(row[1], Value::Int(5));
+        assert_eq!(row[2], Value::Float(16.0));
+        assert_eq!(row[3], Value::Float(5.0));
+        assert_eq!(row[4], Value::Float(30.0));
+        assert_eq!(tracker.hash_builds, 5);
+    }
+
+    #[test]
+    fn grouped_aggregates_sorted_output() {
+        let mut tracker = CostTracker::new();
+        let out = hash_aggregate(
+            &mut tracker,
+            input(),
+            &["g".to_string()],
+            &[AggExpr::sum("x", "total"), AggExpr::count_star("n")],
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema.names(), vec!["g", "total", "n"]);
+        assert_eq!(
+            out.rows[0],
+            vec![Value::Int(1), Value::Float(60.0), Value::Int(3)]
+        );
+        assert_eq!(
+            out.rows[1],
+            vec![Value::Int(2), Value::Float(20.0), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn empty_input_scalar_yields_identity_row() {
+        let mut tracker = CostTracker::new();
+        let empty = Batch::empty(Schema::from_pairs(&[("x", DataType::Float)]));
+        let out = hash_aggregate(
+            &mut tracker,
+            empty,
+            &[],
+            &[
+                AggExpr::sum("x", "s"),
+                AggExpr::count_star("n"),
+                AggExpr::avg("x", "a"),
+                AggExpr::min("x", "lo"),
+            ],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Float(0.0));
+        assert_eq!(out.rows[0][1], Value::Int(0));
+        assert_eq!(out.rows[0][2], Value::Null);
+        assert_eq!(out.rows[0][3], Value::Null);
+    }
+
+    #[test]
+    fn empty_input_grouped_yields_no_rows() {
+        let mut tracker = CostTracker::new();
+        let empty = Batch::empty(Schema::from_pairs(&[
+            ("g", DataType::Int),
+            ("x", DataType::Float),
+        ]));
+        let out = hash_aggregate(
+            &mut tracker,
+            empty,
+            &["g".to_string()],
+            &[AggExpr::sum("x", "s")],
+        );
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn count_column_skips_nulls() {
+        let mut tracker = CostTracker::new();
+        let b = Batch::new(
+            Schema::from_pairs(&[("x", DataType::Int)]),
+            vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(3)]],
+        );
+        let out = hash_aggregate(
+            &mut tracker,
+            b,
+            &[],
+            &[
+                AggExpr {
+                    func: AggFunc::Count,
+                    column: Some("x".into()),
+                    alias: "c".into(),
+                },
+                AggExpr::count_star("n"),
+            ],
+        );
+        assert_eq!(out.rows[0][0], Value::Int(2));
+        assert_eq!(out.rows[0][1], Value::Int(3));
+    }
+}

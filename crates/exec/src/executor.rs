@@ -1,0 +1,282 @@
+//! Plan interpretation.
+
+use rqo_storage::{Catalog, CostParams, CostTracker};
+
+use crate::agg::hash_aggregate;
+use crate::batch::Batch;
+use crate::join::{hash_join, indexed_nl_join, merge_join, star_semijoin};
+use crate::plan::PhysicalPlan;
+use crate::scan::{index_intersection, index_seek, seq_scan};
+
+/// Executes a physical plan against the catalog, returning the result and
+/// the full simulated cost of producing it.
+///
+/// Execution is deterministic: the same plan over the same catalog always
+/// returns the same rows and the same cost.
+pub fn execute(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+) -> (Batch, CostTracker) {
+    let mut tracker = CostTracker::new();
+    let batch = run(plan, catalog, params, &mut tracker);
+    (batch, tracker)
+}
+
+fn run(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+) -> Batch {
+    match plan {
+        PhysicalPlan::SeqScan { table, predicate } => {
+            seq_scan(catalog, params, tracker, table, predicate.as_ref())
+        }
+        PhysicalPlan::IndexSeek {
+            table,
+            range,
+            residual,
+        } => index_seek(catalog, params, tracker, table, range, residual.as_ref()),
+        PhysicalPlan::IndexIntersection {
+            table,
+            ranges,
+            residual,
+        } => index_intersection(catalog, params, tracker, table, ranges, residual.as_ref()),
+        PhysicalPlan::Filter { input, predicate } => {
+            let batch = run(input, catalog, params, tracker);
+            let bound = predicate.bind(&batch.schema).expect("filter binds");
+            tracker.charge_cpu_ops(batch.len() as u64);
+            let rows = batch
+                .rows
+                .into_iter()
+                .filter(|row| rqo_expr::eval_bool(&bound, row))
+                .collect();
+            Batch::new(batch.schema, rows)
+        }
+        PhysicalPlan::Project { input, columns } => {
+            let batch = run(input, catalog, params, tracker);
+            let ordinals: Vec<usize> = columns
+                .iter()
+                .map(|c| batch.schema.expect_index(c))
+                .collect();
+            tracker.charge_cpu_ops(batch.len() as u64);
+            let schema = batch.schema.project(&ordinals);
+            let rows = batch
+                .rows
+                .into_iter()
+                .map(|row| ordinals.iter().map(|&i| row[i].clone()).collect())
+                .collect();
+            Batch::new(schema, rows)
+        }
+        PhysicalPlan::HashJoin {
+            build,
+            probe,
+            build_key,
+            probe_key,
+        } => {
+            let b = run(build, catalog, params, tracker);
+            let p = run(probe, catalog, params, tracker);
+            hash_join(tracker, b, p, build_key, probe_key)
+        }
+        PhysicalPlan::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let l = run(left, catalog, params, tracker);
+            let r = run(right, catalog, params, tracker);
+            merge_join(tracker, l, r, left_key, right_key)
+        }
+        PhysicalPlan::IndexedNlJoin {
+            outer,
+            inner_table,
+            inner_index_column,
+            outer_key,
+        } => {
+            let o = run(outer, catalog, params, tracker);
+            indexed_nl_join(
+                catalog,
+                params,
+                tracker,
+                o,
+                inner_table,
+                inner_index_column,
+                outer_key,
+            )
+        }
+        PhysicalPlan::StarSemiJoin { fact_table, legs } => {
+            star_semijoin(catalog, params, tracker, fact_table, legs)
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let batch = run(input, catalog, params, tracker);
+            hash_aggregate(tracker, batch, group_by, aggregates)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AggExpr, IndexRange};
+    use rqo_expr::Expr;
+    use rqo_storage::{DataType, Schema, TableBuilder, Value};
+
+    /// orders(o_id, o_cust) and items(i_order, i_price): 50 orders with 2
+    /// items each.
+    fn catalog() -> Catalog {
+        let mut orders = TableBuilder::new(
+            "orders",
+            Schema::from_pairs(&[("o_id", DataType::Int), ("o_cust", DataType::Int)]),
+            50,
+        );
+        for i in 0..50i64 {
+            orders.push_row(&[Value::Int(i), Value::Int(i % 5)]);
+        }
+        let mut items = TableBuilder::new(
+            "items",
+            Schema::from_pairs(&[("i_order", DataType::Int), ("i_price", DataType::Float)]),
+            100,
+        );
+        for i in 0..100i64 {
+            items.push_row(&[Value::Int(i / 2), Value::Float(i as f64)]);
+        }
+        let mut cat = Catalog::new();
+        cat.add_table(orders.finish()).unwrap();
+        cat.add_table(items.finish()).unwrap();
+        cat.add_foreign_key("items", "i_order", "orders", "o_id")
+            .unwrap();
+        cat.ensure_secondary_index("items", "i_order").unwrap();
+        cat.ensure_secondary_index("items", "i_price").unwrap();
+        cat.ensure_secondary_index("orders", "o_cust").unwrap();
+        cat
+    }
+
+    #[test]
+    fn end_to_end_join_aggregate() {
+        let cat = catalog();
+        let params = CostParams::default();
+        // SELECT SUM(i_price) FROM items JOIN orders ON i_order = o_id
+        // WHERE o_cust = 0
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::HashJoin {
+                build: Box::new(PhysicalPlan::SeqScan {
+                    table: "orders".into(),
+                    predicate: Some(Expr::col("o_cust").eq(Expr::lit(0i64))),
+                }),
+                probe: Box::new(PhysicalPlan::SeqScan {
+                    table: "items".into(),
+                    predicate: None,
+                }),
+                build_key: "o_id".into(),
+                probe_key: "i_order".into(),
+            }),
+            group_by: vec![],
+            aggregates: vec![AggExpr::sum("i_price", "total"), AggExpr::count_star("n")],
+        };
+        let (batch, cost) = execute(&plan, &cat, &params);
+        assert_eq!(batch.len(), 1);
+        // Orders with cust 0: ids 0,5,...,45; items 2k,2k+1 per order id k.
+        let expected: f64 = (0..50i64)
+            .filter(|o| o % 5 == 0)
+            .flat_map(|o| [2 * o, 2 * o + 1])
+            .map(|i| i as f64)
+            .sum();
+        assert_eq!(batch.rows[0][0], Value::Float(expected));
+        assert_eq!(batch.rows[0][1], Value::Int(20));
+        assert!(cost.seconds(&params) > 0.0);
+    }
+
+    #[test]
+    fn filter_and_project_nodes() {
+        let cat = catalog();
+        let params = CostParams::default();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::SeqScan {
+                    table: "items".into(),
+                    predicate: None,
+                }),
+                predicate: Expr::col("i_price").ge(Expr::lit(90.0)),
+            }),
+            columns: vec!["i_price".into()],
+        };
+        let (batch, _) = execute(&plan, &cat, &params);
+        assert_eq!(batch.len(), 10);
+        assert_eq!(batch.schema.names(), vec!["i_price"]);
+    }
+
+    #[test]
+    fn equivalent_plans_same_rows_different_costs() {
+        let cat = catalog();
+        let params = CostParams::default();
+        // Same logical query via seq scan vs index seek.
+        let pred = Expr::col("i_price").between(Expr::lit(10.0), Expr::lit(19.0));
+        let scan = PhysicalPlan::SeqScan {
+            table: "items".into(),
+            predicate: Some(pred),
+        };
+        let seek = PhysicalPlan::IndexSeek {
+            table: "items".into(),
+            range: IndexRange::between("i_price", Value::Float(10.0), Value::Float(19.0)),
+            residual: None,
+        };
+        let (b1, c1) = execute(&scan, &cat, &params);
+        let (b2, c2) = execute(&seek, &cat, &params);
+        assert_eq!(b1.len(), b2.len());
+        assert_eq!(b1.len(), 10);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn determinism() {
+        let cat = catalog();
+        let params = CostParams::default();
+        let plan = PhysicalPlan::IndexedNlJoin {
+            outer: Box::new(PhysicalPlan::SeqScan {
+                table: "orders".into(),
+                predicate: Some(Expr::col("o_cust").eq(Expr::lit(2i64))),
+            }),
+            inner_table: "items".into(),
+            inner_index_column: "i_order".into(),
+            outer_key: "o_id".into(),
+        };
+        let (b1, c1) = execute(&plan, &cat, &params);
+        let (b2, c2) = execute(&plan, &cat, &params);
+        assert_eq!(b1.rows, b2.rows);
+        assert_eq!(c1, c2);
+        assert_eq!(b1.len(), 20);
+    }
+
+    #[test]
+    fn grouped_aggregate_over_join() {
+        let cat = catalog();
+        let params = CostParams::default();
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::MergeJoin {
+                left: Box::new(PhysicalPlan::SeqScan {
+                    table: "orders".into(),
+                    predicate: None,
+                }),
+                right: Box::new(PhysicalPlan::SeqScan {
+                    table: "items".into(),
+                    predicate: None,
+                }),
+                left_key: "o_id".into(),
+                right_key: "i_order".into(),
+            }),
+            group_by: vec!["o_cust".into()],
+            aggregates: vec![AggExpr::count_star("n")],
+        };
+        let (batch, _) = execute(&plan, &cat, &params);
+        assert_eq!(batch.len(), 5);
+        for row in &batch.rows {
+            assert_eq!(row[1], Value::Int(20)); // 10 orders × 2 items
+        }
+    }
+}

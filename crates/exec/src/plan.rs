@@ -1,0 +1,402 @@
+//! Physical plan trees.
+//!
+//! The optimizer emits these; the executor interprets them.  The node set
+//! is exactly what the paper's three experimental scenarios require: two
+//! access paths (sequential scan, index seek / index intersection plus RID
+//! fetch), three join algorithms (hash, merge, indexed nested loops), the
+//! star-join semijoin strategy, and hash aggregation.
+
+use std::fmt;
+use std::ops::Bound;
+
+use rqo_expr::Expr;
+use rqo_storage::Value;
+
+/// A key range over a single indexed column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexRange {
+    /// Indexed column.
+    pub column: String,
+    /// Lower bound.
+    pub lo: Bound<Value>,
+    /// Upper bound.
+    pub hi: Bound<Value>,
+}
+
+impl IndexRange {
+    /// An equality range.
+    pub fn eq(column: impl Into<String>, v: Value) -> Self {
+        Self {
+            column: column.into(),
+            lo: Bound::Included(v.clone()),
+            hi: Bound::Included(v),
+        }
+    }
+
+    /// A closed range `[lo, hi]`.
+    pub fn between(column: impl Into<String>, lo: Value, hi: Value) -> Self {
+        Self {
+            column: column.into(),
+            lo: Bound::Included(lo),
+            hi: Bound::Included(hi),
+        }
+    }
+}
+
+/// One leg of a star semijoin: a dimension whose filtered keys drive a
+/// fact-side FK index probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemiJoinLeg {
+    /// Dimension table.
+    pub dim_table: String,
+    /// Dimension key column (the FK target).
+    pub dim_key: String,
+    /// Filter on the dimension.
+    pub dim_predicate: Expr,
+    /// Fact-side FK column (must have a secondary index).
+    pub fact_fk: String,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `SUM(col)`
+    Sum,
+    /// `COUNT(*)` (column ignored) or `COUNT(col)`
+    Count,
+    /// `AVG(col)`
+    Avg,
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+}
+
+/// One aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// Function.
+    pub func: AggFunc,
+    /// Input column (`None` only for `COUNT(*)`).
+    pub column: Option<String>,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// `SUM(column) AS alias`
+    pub fn sum(column: impl Into<String>, alias: impl Into<String>) -> Self {
+        Self {
+            func: AggFunc::Sum,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+
+    /// `COUNT(*) AS alias`
+    pub fn count_star(alias: impl Into<String>) -> Self {
+        Self {
+            func: AggFunc::Count,
+            column: None,
+            alias: alias.into(),
+        }
+    }
+
+    /// `AVG(column) AS alias`
+    pub fn avg(column: impl Into<String>, alias: impl Into<String>) -> Self {
+        Self {
+            func: AggFunc::Avg,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+
+    /// `MIN(column) AS alias`
+    pub fn min(column: impl Into<String>, alias: impl Into<String>) -> Self {
+        Self {
+            func: AggFunc::Min,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+
+    /// `MAX(column) AS alias`
+    pub fn max(column: impl Into<String>, alias: impl Into<String>) -> Self {
+        Self {
+            func: AggFunc::Max,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Full sequential scan with an optional pushed-down predicate.
+    SeqScan {
+        /// Table to scan.
+        table: String,
+        /// Predicate applied during the scan.
+        predicate: Option<Expr>,
+    },
+    /// Single-index seek: scan one key range's leaf entries, fetch the
+    /// rows, apply the residual predicate.
+    IndexSeek {
+        /// Table.
+        table: String,
+        /// Key range (the index on `range.column` must exist).
+        range: IndexRange,
+        /// Residual predicate applied after fetching.
+        residual: Option<Expr>,
+    },
+    /// Index intersection: seek several ranges, intersect the RID lists,
+    /// fetch only rows matching all ranges, apply the residual.
+    IndexIntersection {
+        /// Table.
+        table: String,
+        /// Ranges (each column's index must exist; two or more).
+        ranges: Vec<IndexRange>,
+        /// Residual predicate applied after fetching.
+        residual: Option<Expr>,
+    },
+    /// Filter on an intermediate result.
+    Filter {
+        /// Input.
+        input: Box<PhysicalPlan>,
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Column projection (by name).
+    Project {
+        /// Input.
+        input: Box<PhysicalPlan>,
+        /// Columns to keep, in order.
+        columns: Vec<String>,
+    },
+    /// Hash join: build a table on `build`, probe with `probe`.
+    HashJoin {
+        /// Build side (should be the smaller input).
+        build: Box<PhysicalPlan>,
+        /// Probe side.
+        probe: Box<PhysicalPlan>,
+        /// Join key in the build schema.
+        build_key: String,
+        /// Join key in the probe schema.
+        probe_key: String,
+    },
+    /// Merge join; sorts inputs that are not already sorted on their key
+    /// (charging the sort).
+    MergeJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join key in the left schema.
+        left_key: String,
+        /// Join key in the right schema.
+        right_key: String,
+    },
+    /// Indexed nested-loops join: for each outer row, probe the inner
+    /// table's secondary index on `inner_index_column` with the outer
+    /// row's `outer_key` and fetch matches.
+    IndexedNlJoin {
+        /// Outer input.
+        outer: Box<PhysicalPlan>,
+        /// Inner (indexed) table.
+        inner_table: String,
+        /// Inner indexed column.
+        inner_index_column: String,
+        /// Key column in the outer schema.
+        outer_key: String,
+    },
+    /// Star semijoin: filter each dimension, probe the fact FK indexes for
+    /// matching RIDs, intersect across legs, fetch the fact rows.  Output
+    /// schema is the fact schema (dimensions act purely as filters).
+    StarSemiJoin {
+        /// Fact table.
+        fact_table: String,
+        /// Semijoin legs (one or more).
+        legs: Vec<SemiJoinLeg>,
+    },
+    /// Hash aggregation (empty `group_by` = scalar aggregate over all
+    /// rows, yielding exactly one row even for empty input).
+    HashAggregate {
+        /// Input.
+        input: Box<PhysicalPlan>,
+        /// Grouping columns.
+        group_by: Vec<String>,
+        /// Aggregates.
+        aggregates: Vec<AggExpr>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Renders an `EXPLAIN`-style indented tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::SeqScan { table, predicate } => {
+                let _ = write!(out, "{pad}SeqScan {table}");
+                if let Some(p) = predicate {
+                    let _ = write!(out, " filter={p}");
+                }
+                out.push('\n');
+            }
+            PhysicalPlan::IndexSeek { table, range, .. } => {
+                let _ = writeln!(out, "{pad}IndexSeek {table}.{}", range.column);
+            }
+            PhysicalPlan::IndexIntersection { table, ranges, .. } => {
+                let cols: Vec<&str> = ranges.iter().map(|r| r.column.as_str()).collect();
+                let _ = writeln!(out, "{pad}IndexIntersection {table} [{}]", cols.join(", "));
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter {predicate}");
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Project { input, columns } => {
+                let _ = writeln!(out, "{pad}Project [{}]", columns.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::HashJoin {
+                build,
+                probe,
+                build_key,
+                probe_key,
+            } => {
+                let _ = writeln!(out, "{pad}HashJoin {build_key} = {probe_key}");
+                build.explain_into(out, depth + 1);
+                probe.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::MergeJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let _ = writeln!(out, "{pad}MergeJoin {left_key} = {right_key}");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::IndexedNlJoin {
+                outer,
+                inner_table,
+                inner_index_column,
+                outer_key,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexedNlJoin {outer_key} -> {inner_table}.{inner_index_column}"
+                );
+                outer.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::StarSemiJoin { fact_table, legs } => {
+                let dims: Vec<&str> = legs.iter().map(|l| l.dim_table.as_str()).collect();
+                let _ = writeln!(out, "{pad}StarSemiJoin {fact_table} [{}]", dims.join(", "));
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let aggs: Vec<&str> = aggregates.iter().map(|a| a.alias.as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}HashAggregate group=[{}] aggs=[{}]",
+                    group_by.join(", "),
+                    aggs.join(", ")
+                );
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+
+    /// A short label identifying the plan's shape (used by the experiment
+    /// reports to show which plan family was chosen).
+    pub fn shape_label(&self) -> String {
+        match self {
+            PhysicalPlan::SeqScan { .. } => "seqscan".to_string(),
+            PhysicalPlan::IndexSeek { .. } => "ixseek".to_string(),
+            PhysicalPlan::IndexIntersection { .. } => "ixsect".to_string(),
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+                input.shape_label()
+            }
+            PhysicalPlan::HashJoin { build, probe, .. } => {
+                format!("hj({},{})", build.shape_label(), probe.shape_label())
+            }
+            PhysicalPlan::MergeJoin { left, right, .. } => {
+                format!("mj({},{})", left.shape_label(), right.shape_label())
+            }
+            PhysicalPlan::IndexedNlJoin {
+                outer, inner_table, ..
+            } => {
+                format!("inl({},{inner_table})", outer.shape_label())
+            }
+            PhysicalPlan::StarSemiJoin { legs, .. } => format!("semijoin[{}]", legs.len()),
+            PhysicalPlan::HashAggregate { input, .. } => format!("agg({})", input.shape_label()),
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.explain().trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::HashJoin {
+                build: Box::new(PhysicalPlan::SeqScan {
+                    table: "part".into(),
+                    predicate: Some(Expr::col("p_x").lt(Expr::lit(100i64))),
+                }),
+                probe: Box::new(PhysicalPlan::SeqScan {
+                    table: "lineitem".into(),
+                    predicate: None,
+                }),
+                build_key: "p_partkey".into(),
+                probe_key: "l_partkey".into(),
+            }),
+            group_by: vec![],
+            aggregates: vec![AggExpr::sum("l_extendedprice", "revenue")],
+        };
+        let text = plan.explain();
+        assert!(text.contains("HashAggregate"));
+        assert!(text.contains("HashJoin p_partkey = l_partkey"));
+        assert!(text.contains("SeqScan part filter=(p_x < 100)"));
+        assert_eq!(plan.shape_label(), "agg(hj(seqscan,seqscan))");
+        assert_eq!(plan.to_string(), text.trim_end());
+    }
+
+    #[test]
+    fn index_range_builders() {
+        let r = IndexRange::eq("c", Value::Int(5));
+        assert_eq!(r.lo, Bound::Included(Value::Int(5)));
+        assert_eq!(r.hi, Bound::Included(Value::Int(5)));
+        let r = IndexRange::between("c", Value::Int(1), Value::Int(9));
+        assert_eq!(r.lo, Bound::Included(Value::Int(1)));
+        assert_eq!(r.hi, Bound::Included(Value::Int(9)));
+    }
+
+    #[test]
+    fn agg_builders() {
+        assert_eq!(AggExpr::count_star("n").column, None);
+        assert_eq!(AggExpr::sum("x", "s").func, AggFunc::Sum);
+        assert_eq!(AggExpr::avg("x", "a").func, AggFunc::Avg);
+        assert_eq!(AggExpr::min("x", "lo").func, AggFunc::Min);
+        assert_eq!(AggExpr::max("x", "hi").func, AggFunc::Max);
+    }
+}

@@ -1,0 +1,23 @@
+//! Scalar expressions and predicates.
+//!
+//! One of the paper's arguments for sampling-based estimation (§3.2,
+//! point 3) is that it works for *almost any* predicate — arithmetic
+//! expressions, substring matches — because the predicate is simply
+//! evaluated against each sampled tuple.  This crate provides that shared
+//! predicate language: a small expression tree with SQL three-valued logic,
+//! evaluated identically against base-table rows (by the executor), sample
+//! tuples (by the robust estimator), and histogram bucket boundaries (by the
+//! baseline estimator, for the restricted shapes it supports).
+//!
+//! Expressions are built name-based ([`Expr::col`]) and *bound* to a schema
+//! ([`Expr::bind`]) before evaluation, turning column references into
+//! ordinals so the hot evaluation path does no string lookups.
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod like;
+pub mod tree;
+
+pub use eval::eval_bool;
+pub use tree::{BinaryOp, Expr, ExprError, UnaryOp};

@@ -1,0 +1,96 @@
+//! SQL `LIKE` pattern matching with `%` and `_` wildcards.
+
+/// Returns true when `text` matches the SQL LIKE `pattern`.
+///
+/// `%` matches any (possibly empty) substring; `_` matches exactly one
+/// character.  Matching is byte-oriented, which is correct for the ASCII
+/// identifiers (brands, containers, ship modes) produced by the data
+/// generators; `_` counts bytes, not grapheme clusters.
+///
+/// Implemented with the standard two-pointer backtracking algorithm:
+/// linear in `text.len()` for patterns with a single `%`, and O(n·m) worst
+/// case, with no allocation.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p = pattern.as_bytes();
+    let t = text.as_bytes();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Position to restart from after a failed match past a '%'.
+    let mut star: Option<(usize, usize)> = None;
+
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Let the last '%' absorb one more character and retry.
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    // Only trailing '%'s may remain.
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+        assert!(!like_match("ab", "abc"));
+        assert!(like_match("", ""));
+        assert!(!like_match("", "x"));
+    }
+
+    #[test]
+    fn percent_wildcard() {
+        assert!(like_match("%", ""));
+        assert!(like_match("%", "anything"));
+        assert!(like_match("abc%", "abcdef"));
+        assert!(like_match("%def", "abcdef"));
+        assert!(like_match("%cd%", "abcdef"));
+        assert!(like_match("a%f", "abcdef"));
+        assert!(!like_match("a%g", "abcdef"));
+        assert!(like_match("%%", "x"));
+        assert!(like_match("a%", "a"));
+    }
+
+    #[test]
+    fn underscore_wildcard() {
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "ac"));
+        assert!(!like_match("a_c", "abbc"));
+        assert!(like_match("___", "abc"));
+        assert!(!like_match("___", "ab"));
+    }
+
+    #[test]
+    fn combined_wildcards() {
+        assert!(like_match("a_%c", "axyc"));
+        assert!(!like_match("a_%c", "ac"));
+        assert!(like_match("%B#__", "Brand B#12"));
+        assert!(like_match("MED%BOX", "MED BOX"));
+    }
+
+    #[test]
+    fn backtracking_stress() {
+        // Patterns that defeat greedy matching without backtracking.
+        assert!(like_match("%ab%ab", "abab"));
+        assert!(like_match("%aab", "aaab"));
+        assert!(!like_match("%aab%c", "aabb"));
+        assert!(like_match("a%a%a", "aaa"));
+        assert!(!like_match("a%a%a", "aa"));
+    }
+}

@@ -1,0 +1,622 @@
+//! The expression tree.
+
+// Builder methods `add`/`sub`/`mul`/`div`/`not` intentionally mirror SQL
+// operator names rather than implementing the std operator traits, which
+// would force `Expr: Sized` receivers and obscure the DSL.
+#![allow(clippy::should_implement_trait)]
+
+use std::fmt;
+use std::ops::Bound;
+
+use rqo_storage::{Schema, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Logical AND (Kleene).
+    And,
+    /// Logical OR (Kleene).
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinaryOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// The comparison with its operands swapped (`a < b` ⇔ `b > a`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-comparison operator.
+    pub fn flip(&self) -> BinaryOp {
+        match self {
+            BinaryOp::Eq => BinaryOp::Eq,
+            BinaryOp::Ne => BinaryOp::Ne,
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::Le => BinaryOp::Ge,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::Ge => BinaryOp::Le,
+            other => panic!("flip on non-comparison {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical NOT (Kleene).
+    Not,
+    /// Numeric negation.
+    Neg,
+    /// `IS NULL`.
+    IsNull,
+}
+
+/// Errors from binding an expression to a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// A named column was not found in the schema.
+    UnknownColumn(String),
+    /// Evaluation was attempted on an unbound column reference.
+    Unbound(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            ExprError::Unbound(c) => write!(f, "unbound column reference {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A named column reference (unbound).
+    Col(String),
+    /// A bound column reference: ordinal into the input row.  The name is
+    /// retained for display.
+    ColIdx(usize, String),
+    /// A literal value.
+    Lit(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `expr BETWEEN lo AND hi` (inclusive both sides).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+    },
+    /// `expr LIKE pattern` with `%`/`_` wildcards.
+    Like {
+        /// Tested expression (must evaluate to a string).
+        expr: Box<Expr>,
+        /// Pattern with SQL wildcards.
+        pattern: String,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Value>,
+    },
+}
+
+impl Expr {
+    /// A named column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// A literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// `self = other`
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Eq, self, other)
+    }
+
+    /// `self <> other`
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Ne, self, other)
+    }
+
+    /// `self < other`
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Lt, self, other)
+    }
+
+    /// `self <= other`
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Le, self, other)
+    }
+
+    /// `self > other`
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Gt, self, other)
+    }
+
+    /// `self >= other`
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Ge, self, other)
+    }
+
+    /// `self AND other`
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::And, self, other)
+    }
+
+    /// `self OR other`
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Or, self, other)
+    }
+
+    /// `self + other`
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Add, self, other)
+    }
+
+    /// `self - other`
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Sub, self, other)
+    }
+
+    /// `self * other`
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Mul, self, other)
+    }
+
+    /// `self / other`
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Div, self, other)
+    }
+
+    /// `NOT self`
+    pub fn not(self) -> Expr {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(self),
+        }
+    }
+
+    /// `self IS NULL`
+    pub fn is_null(self) -> Expr {
+        Expr::Unary {
+            op: UnaryOp::IsNull,
+            expr: Box::new(self),
+        }
+    }
+
+    /// `self BETWEEN lo AND hi`
+    pub fn between(self, lo: Expr, hi: Expr) -> Expr {
+        Expr::Between {
+            expr: Box::new(self),
+            lo: Box::new(lo),
+            hi: Box::new(hi),
+        }
+    }
+
+    /// `self LIKE pattern`
+    pub fn like(self, pattern: impl Into<String>) -> Expr {
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: pattern.into(),
+        }
+    }
+
+    /// `self IN (list)`
+    pub fn in_list(self, list: Vec<Value>) -> Expr {
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+        }
+    }
+
+    /// ANDs a list of predicates together; `None` when the list is empty.
+    pub fn conjunction(mut exprs: Vec<Expr>) -> Option<Expr> {
+        let mut acc = exprs.pop()?;
+        while let Some(e) = exprs.pop() {
+            acc = e.and(acc);
+        }
+        Some(acc)
+    }
+
+    /// Resolves all `Col(name)` references against a schema, producing an
+    /// expression that evaluates without string lookups.
+    pub fn bind(&self, schema: &Schema) -> Result<Expr, ExprError> {
+        Ok(match self {
+            Expr::Col(name) => {
+                let idx = schema
+                    .index_of(name)
+                    .ok_or_else(|| ExprError::UnknownColumn(name.clone()))?;
+                Expr::ColIdx(idx, name.clone())
+            }
+            // Re-binding to a different schema: resolve by retained name.
+            Expr::ColIdx(_, name) => {
+                let idx = schema
+                    .index_of(name)
+                    .ok_or_else(|| ExprError::UnknownColumn(name.clone()))?;
+                Expr::ColIdx(idx, name.clone())
+            }
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.bind(schema)?),
+            },
+            Expr::Between { expr, lo, hi } => Expr::Between {
+                expr: Box::new(expr.bind(schema)?),
+                lo: Box::new(lo.bind(schema)?),
+                hi: Box::new(hi.bind(schema)?),
+            },
+            Expr::Like { expr, pattern } => Expr::Like {
+                expr: Box::new(expr.bind(schema)?),
+                pattern: pattern.clone(),
+            },
+            Expr::InList { expr, list } => Expr::InList {
+                expr: Box::new(expr.bind(schema)?),
+                list: list.clone(),
+            },
+        })
+    }
+
+    /// Collects the names of all referenced columns (deduplicated, in first
+    /// appearance order).
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        let mut push = |name: &'a str| {
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        };
+        match self {
+            Expr::Col(name) | Expr::ColIdx(_, name) => push(name),
+            Expr::Lit(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Unary { expr, .. } => expr.collect_columns(out),
+            Expr::Between { expr, lo, hi } => {
+                expr.collect_columns(out);
+                lo.collect_columns(out);
+                hi.collect_columns(out);
+            }
+            Expr::Like { expr, .. } | Expr::InList { expr, .. } => expr.collect_columns(out),
+        }
+    }
+
+    /// Splits a conjunctive predicate into its AND-ed factors.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+            } => {
+                left.collect_conjuncts(out);
+                right.collect_conjuncts(out);
+            }
+            other => out.push(other),
+        }
+    }
+
+    /// Evaluates this expression to a constant when it references no
+    /// columns (constant folding).  Returns `None` for column-dependent
+    /// expressions and for NULL-valued constants.
+    ///
+    /// This is what lets the index-matching machinery see through the
+    /// paper's query template `l_receiptdate BETWEEN '07/01/97' + ? AND
+    /// '09/30/97' + ?`: the bounds are arithmetic over literals, not bare
+    /// literals.
+    pub fn const_value(&self) -> Option<Value> {
+        if !self.referenced_columns().is_empty() {
+            return None;
+        }
+        match self.eval(&[]) {
+            Value::Null => None,
+            v => Some(v),
+        }
+    }
+
+    /// Recognizes this predicate as a single-column range:
+    /// `col op constant`, `constant op col`, or
+    /// `col BETWEEN constant AND constant`, where "constant" is any
+    /// column-free expression (folded via [`Expr::const_value`]).
+    ///
+    /// Returns `(column name, lower bound, upper bound)` when the predicate
+    /// constrains exactly one column against constants — the shape an index
+    /// seek (and a one-dimensional histogram) can serve.
+    pub fn as_column_range(&self) -> Option<(&str, Bound<Value>, Bound<Value>)> {
+        fn col_name(e: &Expr) -> Option<&str> {
+            match e {
+                Expr::Col(n) | Expr::ColIdx(_, n) => Some(n.as_str()),
+                _ => None,
+            }
+        }
+        match self {
+            Expr::Binary { op, left, right } if op.is_comparison() => {
+                let (name, lit, op) =
+                    if let (Some(n), Some(v)) = (col_name(left), right.const_value()) {
+                        (n, v, *op)
+                    } else if let (Some(v), Some(n)) = (left.const_value(), col_name(right)) {
+                        (n, v, op.flip())
+                    } else {
+                        return None;
+                    };
+                let range = match op {
+                    BinaryOp::Eq => (Bound::Included(lit.clone()), Bound::Included(lit)),
+                    BinaryOp::Lt => (Bound::Unbounded, Bound::Excluded(lit)),
+                    BinaryOp::Le => (Bound::Unbounded, Bound::Included(lit)),
+                    BinaryOp::Gt => (Bound::Excluded(lit), Bound::Unbounded),
+                    BinaryOp::Ge => (Bound::Included(lit), Bound::Unbounded),
+                    _ => return None, // Ne is not a contiguous range
+                };
+                Some((name, range.0, range.1))
+            }
+            Expr::Between { expr, lo, hi } => {
+                let n = col_name(expr)?;
+                let a = lo.const_value()?;
+                let b = hi.const_value()?;
+                Some((n, Bound::Included(a), Bound::Included(b)))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(n) => write!(f, "{n}"),
+            Expr::ColIdx(i, n) => write!(f, "{n}#{i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+                UnaryOp::IsNull => write!(f, "({expr} IS NULL)"),
+            },
+            Expr::Between { expr, lo, hi } => write!(f, "({expr} BETWEEN {lo} AND {hi})"),
+            Expr::Like { expr, pattern } => write!(f, "({expr} LIKE '{pattern}')"),
+            Expr::InList { expr, list } => {
+                write!(f, "({expr} IN (")?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "))")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqo_storage::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float)])
+    }
+
+    #[test]
+    fn bind_resolves_ordinals() {
+        let e = Expr::col("b")
+            .gt(Expr::lit(1.0))
+            .and(Expr::col("a").eq(Expr::lit(3i64)));
+        let bound = e.bind(&schema()).unwrap();
+        let shown = bound.to_string();
+        assert!(shown.contains("b#1"), "{shown}");
+        assert!(shown.contains("a#0"), "{shown}");
+    }
+
+    #[test]
+    fn bind_unknown_column_fails() {
+        let e = Expr::col("zzz").eq(Expr::lit(1i64));
+        assert_eq!(
+            e.bind(&schema()),
+            Err(ExprError::UnknownColumn("zzz".into()))
+        );
+    }
+
+    #[test]
+    fn rebind_to_new_schema() {
+        let s1 = schema();
+        let s2 = Schema::from_pairs(&[("b", DataType::Float), ("a", DataType::Int)]);
+        let e = Expr::col("a").eq(Expr::lit(1i64)).bind(&s1).unwrap();
+        let re = e.bind(&s2).unwrap();
+        assert!(re.to_string().contains("a#1"));
+    }
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let e = Expr::col("a")
+            .gt(Expr::lit(1i64))
+            .and(Expr::col("b").lt(Expr::col("a")));
+        assert_eq!(e.referenced_columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn conjuncts_flatten() {
+        let e = Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("b").gt(Expr::lit(0.0)))
+            .and(Expr::col("a").lt(Expr::lit(10i64)));
+        assert_eq!(e.conjuncts().len(), 3);
+        // OR does not flatten.
+        let e2 = Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .or(Expr::col("a").eq(Expr::lit(2i64)));
+        assert_eq!(e2.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn conjunction_builder() {
+        assert!(Expr::conjunction(vec![]).is_none());
+        let single = Expr::conjunction(vec![Expr::col("a").eq(Expr::lit(1i64))]).unwrap();
+        assert_eq!(single.conjuncts().len(), 1);
+        let multi = Expr::conjunction(vec![
+            Expr::col("a").eq(Expr::lit(1i64)),
+            Expr::col("b").gt(Expr::lit(2.0)),
+        ])
+        .unwrap();
+        assert_eq!(multi.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn column_range_recognition() {
+        let e = Expr::col("a").between(Expr::lit(5i64), Expr::lit(9i64));
+        let (col, lo, hi) = e.as_column_range().unwrap();
+        assert_eq!(col, "a");
+        assert_eq!(lo, Bound::Included(Value::Int(5)));
+        assert_eq!(hi, Bound::Included(Value::Int(9)));
+
+        let e = Expr::col("a").lt(Expr::lit(3i64));
+        let (col, lo, hi) = e.as_column_range().unwrap();
+        assert_eq!(col, "a");
+        assert_eq!(lo, Bound::Unbounded);
+        assert_eq!(hi, Bound::Excluded(Value::Int(3)));
+
+        // Flipped literal side: 3 < a means a > 3.
+        let e = Expr::lit(3i64).lt(Expr::col("a"));
+        let (col, lo, hi) = e.as_column_range().unwrap();
+        assert_eq!(col, "a");
+        assert_eq!(lo, Bound::Excluded(Value::Int(3)));
+        assert_eq!(hi, Bound::Unbounded);
+
+        let e = Expr::col("a").eq(Expr::lit(7i64));
+        let (_, lo, hi) = e.as_column_range().unwrap();
+        assert_eq!(lo, Bound::Included(Value::Int(7)));
+        assert_eq!(hi, Bound::Included(Value::Int(7)));
+
+        // Non-range shapes.
+        assert!(Expr::col("a")
+            .ne(Expr::lit(1i64))
+            .as_column_range()
+            .is_none());
+        assert!(Expr::col("a")
+            .lt(Expr::col("b"))
+            .as_column_range()
+            .is_none());
+        assert!(Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("b").gt(Expr::lit(0.0)))
+            .as_column_range()
+            .is_none());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::col("a")
+            .between(Expr::lit(1i64), Expr::lit(2i64))
+            .and(Expr::col("b").like("B#%"));
+        assert_eq!(e.to_string(), "((a BETWEEN 1 AND 2) AND (b LIKE 'B#%'))");
+    }
+
+    #[test]
+    fn flip_comparisons() {
+        assert_eq!(BinaryOp::Lt.flip(), BinaryOp::Gt);
+        assert_eq!(BinaryOp::Ge.flip(), BinaryOp::Le);
+        assert_eq!(BinaryOp::Eq.flip(), BinaryOp::Eq);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip on non-comparison")]
+    fn flip_rejects_arith() {
+        BinaryOp::Add.flip();
+    }
+}

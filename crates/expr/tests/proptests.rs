@@ -1,0 +1,151 @@
+//! Property-based tests of the expression layer: the LIKE matcher against
+//! a naive reference, constant folding against direct evaluation, and
+//! range-recognition against predicate semantics.
+
+use proptest::prelude::*;
+use rqo_expr::{eval_bool, Expr};
+use rqo_storage::{DataType, Schema, Value};
+
+/// Naive exponential-time LIKE reference.
+fn like_reference(pattern: &[u8], text: &[u8]) -> bool {
+    match (pattern.first(), text.first()) {
+        (None, None) => true,
+        (Some(b'%'), _) => {
+            like_reference(&pattern[1..], text)
+                || (!text.is_empty() && like_reference(pattern, &text[1..]))
+        }
+        (Some(b'_'), Some(_)) => like_reference(&pattern[1..], &text[1..]),
+        (Some(&p), Some(&t)) if p == t => like_reference(&pattern[1..], &text[1..]),
+        _ => false,
+    }
+}
+
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![Just('%'), Just('_'), prop::char::range('a', 'd'),],
+        0..8,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::char::range('a', 'd'), 0..10)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn like_matches_reference(pattern in pattern_strategy(), text in text_strategy()) {
+        let schema = Schema::from_pairs(&[("s", DataType::Str)]);
+        let expr = Expr::col("s").like(pattern.clone()).bind(&schema).unwrap();
+        let row = vec![Value::str(text.as_str())];
+        let got = eval_bool(&expr, &row);
+        let expected = like_reference(pattern.as_bytes(), text.as_bytes());
+        prop_assert_eq!(got, expected, "pattern {:?} text {:?}", pattern, text);
+    }
+
+    #[test]
+    fn const_folding_matches_direct_eval(a in -1000i64..1000, b in -1000i64..1000) {
+        // (a + b) * 2 - a, built as an expression over literals only.
+        let e = Expr::lit(a)
+            .add(Expr::lit(b))
+            .mul(Expr::lit(2i64))
+            .sub(Expr::lit(a));
+        let folded = e.const_value().expect("column-free expression folds");
+        prop_assert_eq!(folded, Value::Int((a + b) * 2 - a));
+    }
+
+    #[test]
+    fn division_by_zero_never_folds(a in -1000i64..1000) {
+        let e = Expr::lit(a).div(Expr::lit(0i64));
+        prop_assert!(e.const_value().is_none());
+    }
+
+    #[test]
+    fn recognized_ranges_agree_with_predicate_semantics(
+        x in -100i64..100,
+        lo in -100i64..100,
+        len in 0i64..100,
+        shift in -50i64..50,
+    ) {
+        // A BETWEEN with arithmetic bounds, the paper's template shape.
+        let pred = Expr::col("x").between(
+            Expr::lit(lo).add(Expr::lit(shift)),
+            Expr::lit(lo + len).add(Expr::lit(shift)),
+        );
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let bound = pred.bind(&schema).unwrap();
+        let truth = eval_bool(&bound, &[Value::Int(x)]);
+
+        let (col, range_lo, range_hi) = pred.as_column_range().expect("recognized");
+        prop_assert_eq!(col, "x");
+        let in_lo = match &range_lo {
+            std::ops::Bound::Included(v) => x >= v.as_int(),
+            std::ops::Bound::Excluded(v) => x > v.as_int(),
+            std::ops::Bound::Unbounded => true,
+        };
+        let in_hi = match &range_hi {
+            std::ops::Bound::Included(v) => x <= v.as_int(),
+            std::ops::Bound::Excluded(v) => x < v.as_int(),
+            std::ops::Bound::Unbounded => true,
+        };
+        prop_assert_eq!(truth, in_lo && in_hi);
+    }
+
+    #[test]
+    fn comparison_ranges_agree_with_semantics(x in -100i64..100, c in -100i64..100, op in 0u8..5) {
+        let col = Expr::col("x");
+        let pred = match op {
+            0 => col.eq(Expr::lit(c)),
+            1 => col.lt(Expr::lit(c)),
+            2 => col.le(Expr::lit(c)),
+            3 => col.gt(Expr::lit(c)),
+            _ => col.ge(Expr::lit(c)),
+        };
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let truth = eval_bool(&pred.bind(&schema).unwrap(), &[Value::Int(x)]);
+        let (_, lo, hi) = pred.as_column_range().expect("comparisons are ranges");
+        let in_lo = match &lo {
+            std::ops::Bound::Included(v) => x >= v.as_int(),
+            std::ops::Bound::Excluded(v) => x > v.as_int(),
+            std::ops::Bound::Unbounded => true,
+        };
+        let in_hi = match &hi {
+            std::ops::Bound::Included(v) => x <= v.as_int(),
+            std::ops::Bound::Excluded(v) => x < v.as_int(),
+            std::ops::Bound::Unbounded => true,
+        };
+        prop_assert_eq!(truth, in_lo && in_hi);
+    }
+
+    #[test]
+    fn conjuncts_preserve_semantics(
+        vals in prop::collection::vec(-20i64..20, 3),
+        bounds in prop::collection::vec((-20i64..20, 0i64..20), 3),
+    ) {
+        // AND of three range predicates == conjunction of the parts.
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Int),
+        ]);
+        let names = ["a", "b", "c"];
+        let parts: Vec<Expr> = bounds
+            .iter()
+            .zip(names)
+            .map(|(&(lo, len), n)| Expr::col(n).between(Expr::lit(lo), Expr::lit(lo + len)))
+            .collect();
+        let whole = Expr::conjunction(parts.clone()).unwrap().bind(&schema).unwrap();
+        let row: Vec<Value> = vals.iter().map(|&v| Value::Int(v)).collect();
+        let whole_result = eval_bool(&whole, &row);
+        let parts_result = parts
+            .iter()
+            .all(|p| eval_bool(&p.bind(&schema).unwrap(), &row));
+        prop_assert_eq!(whole_result, parts_result);
+        // And the flattening is lossless.
+        let rebuilt = Expr::conjunction(parts).unwrap();
+        prop_assert_eq!(rebuilt.conjuncts().len(), 3);
+    }
+}

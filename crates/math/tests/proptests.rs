@@ -1,0 +1,149 @@
+//! Property-based tests of the numerical core: distribution invariants
+//! that must hold for arbitrary shapes and observations.
+
+use proptest::prelude::*;
+use rqo_math::{
+    percentile_sorted, regularized_incomplete_beta, BetaDistribution, Binomial, RunningStats,
+    WeightedStats,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn beta_cdf_is_monotone_and_bounded(
+        alpha in 0.1f64..200.0,
+        beta in 0.1f64..200.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let d = BetaDistribution::new(alpha, beta);
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let c_lo = d.cdf(lo);
+        let c_hi = d.cdf(hi);
+        prop_assert!((0.0..=1.0).contains(&c_lo));
+        prop_assert!((0.0..=1.0).contains(&c_hi));
+        prop_assert!(c_lo <= c_hi + 1e-12);
+    }
+
+    #[test]
+    fn beta_quantile_roundtrips_cdf(
+        alpha in 0.2f64..500.0,
+        beta in 0.2f64..500.0,
+        q in 0.001f64..0.999,
+    ) {
+        let d = BetaDistribution::new(alpha, beta);
+        let x = d.quantile(q);
+        prop_assert!((0.0..=1.0).contains(&x));
+        prop_assert!((d.cdf(x) - q).abs() < 1e-6, "cdf(quantile({q})) = {}", d.cdf(x));
+    }
+
+    #[test]
+    fn beta_quantile_is_monotone(
+        alpha in 0.2f64..100.0,
+        beta in 0.2f64..100.0,
+        q1 in 0.01f64..0.99,
+        q2 in 0.01f64..0.99,
+    ) {
+        let d = BetaDistribution::new(alpha, beta);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(d.quantile(lo) <= d.quantile(hi) + 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry_holds(
+        a in 0.2f64..300.0,
+        b in 0.2f64..300.0,
+        x in 0.0f64..1.0,
+    ) {
+        let lhs = regularized_incomplete_beta(a, b, x);
+        let rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "asymmetry: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn binomial_pmf_nonnegative_cdf_monotone(
+        n in 1u64..2000,
+        p in 0.0f64..1.0,
+        k in 0u64..2000,
+    ) {
+        let b = Binomial::new(n, p);
+        prop_assert!(b.pmf(k) >= 0.0);
+        if k > 0 {
+            prop_assert!(b.cdf(k - 1) <= b.cdf(k) + 1e-12);
+        }
+        prop_assert!(b.cdf(n) == 1.0);
+    }
+
+    #[test]
+    fn binomial_support_mass_is_one(n in 1u64..3000, p in 0.0f64..1.0) {
+        let b = Binomial::new(n, p);
+        let mass: f64 = b.support_iter(0.0).map(|(_, w)| w).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-6, "mass = {mass}");
+    }
+
+    #[test]
+    fn running_stats_merge_is_order_independent(
+        data in prop::collection::vec(-1e6f64..1e6, 2..200),
+        split in 1usize..199,
+    ) {
+        let split = split.min(data.len() - 1);
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &data[..split] {
+            a.push(x);
+        }
+        for &x in &data[split..] {
+            b.push(x);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        prop_assert_eq!(ab.count(), whole.count());
+        prop_assert!((ab.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((ab.variance() - whole.variance()).abs() < 1e-4 * (1.0 + whole.variance()));
+    }
+
+    #[test]
+    fn weighted_stats_match_unweighted_for_unit_weights(
+        data in prop::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let mut w = WeightedStats::new();
+        let mut r = RunningStats::new();
+        for &x in &data {
+            w.push(x, 1.0);
+            r.push(x);
+        }
+        prop_assert!((w.mean() - r.mean()).abs() < 1e-9);
+        prop_assert!((w.variance() - r.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_within_range(
+        mut data in prop::collection::vec(-1e3f64..1e3, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        data.sort_by(f64::total_cmp);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let v_lo = percentile_sorted(&data, lo);
+        let v_hi = percentile_sorted(&data, hi);
+        prop_assert!(v_lo <= v_hi + 1e-12);
+        prop_assert!(v_lo >= data[0] - 1e-12);
+        prop_assert!(v_hi <= data[data.len() - 1] + 1e-12);
+    }
+
+    #[test]
+    fn beta_sampling_stays_in_support(alpha in 0.2f64..50.0, beta in 0.2f64..50.0, seed: u64) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = BetaDistribution::new(alpha, beta);
+        for _ in 0..50 {
+            let x = d.sample(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+}

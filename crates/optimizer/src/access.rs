@@ -1,0 +1,122 @@
+//! Access-path selection for a single table.
+//!
+//! For a table with predicate `P = c₁ ∧ c₂ ∧ …`, the candidates are:
+//!
+//! * a **sequential scan** with the whole predicate pushed down — cost
+//!   independent of selectivity;
+//! * an **index seek** on each range-shaped conjunct whose column is
+//!   indexed, with the remaining conjuncts as a residual filter — cost
+//!   driven by that conjunct's *marginal* selectivity;
+//! * an **index intersection** over all indexed range conjuncts — fixed
+//!   cost driven by the marginals, variable cost driven by the *joint*
+//!   selectivity of the ranges.  This is where the robust estimator
+//!   changes the game: the joint selectivity is exactly what correlated
+//!   data hides from AVI-based estimation.
+
+use rqo_exec::{IndexRange, PhysicalPlan};
+use rqo_expr::Expr;
+
+use crate::enumerate::{Candidate, PlanContext};
+
+/// Generates access-path candidates for one table.
+pub fn access_paths(
+    ctx: &PlanContext<'_>,
+    table: &str,
+    predicate: Option<&Expr>,
+) -> Vec<Candidate> {
+    let rows = ctx.model.table_rows(table);
+    let out_rows = match predicate {
+        Some(p) => rows * ctx.selectivity(&[table], &[(table, p)]),
+        None => rows,
+    };
+    let sorted_by = ctx.clustered_column(table);
+
+    let mut candidates = vec![Candidate {
+        plan: PhysicalPlan::SeqScan {
+            table: table.to_string(),
+            predicate: predicate.cloned(),
+        },
+        cost_ms: ctx.model.seq_scan_ms(table),
+        out_rows,
+        sorted_by: sorted_by.clone(),
+    }];
+
+    let Some(predicate) = predicate else {
+        return candidates;
+    };
+
+    // Split the predicate into indexed range conjuncts vs. everything else.
+    let conjuncts = predicate.conjuncts();
+    let mut ranges: Vec<(usize, IndexRange)> = Vec::new();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if let Some((col, lo, hi)) = c.as_column_range() {
+            if ctx.catalog.secondary_index(table, col).is_some() {
+                ranges.push((
+                    i,
+                    IndexRange {
+                        column: col.to_string(),
+                        lo,
+                        hi,
+                    },
+                ));
+            }
+        }
+    }
+
+    // Residual for a set of consumed conjunct indexes.
+    let residual = |consumed: &[usize]| -> Option<Expr> {
+        let rest: Vec<Expr> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !consumed.contains(i))
+            .map(|(_, c)| (*c).clone())
+            .collect();
+        Expr::conjunction(rest)
+    };
+
+    // Single-index seeks.
+    for (i, range) in &ranges {
+        let marginal = ctx.selectivity(&[table], &[(table, conjuncts[*i])]);
+        let entries = rows * marginal;
+        candidates.push(Candidate {
+            plan: PhysicalPlan::IndexSeek {
+                table: table.to_string(),
+                range: range.clone(),
+                residual: residual(&[*i]),
+            },
+            cost_ms: ctx.model.index_seek_ms(table, entries),
+            out_rows,
+            sorted_by: sorted_by.clone(),
+        });
+    }
+
+    // Index intersection over all indexed ranges.
+    if ranges.len() >= 2 {
+        let entries: Vec<f64> = ranges
+            .iter()
+            .map(|(i, _)| rows * ctx.selectivity(&[table], &[(table, conjuncts[*i])]))
+            .collect();
+        let consumed: Vec<usize> = ranges.iter().map(|(i, _)| *i).collect();
+        // Joint selectivity of the range conjuncts only: the quantity the
+        // confidence threshold acts on.
+        let range_conj =
+            Expr::conjunction(consumed.iter().map(|&i| conjuncts[i].clone()).collect())
+                .expect("at least two ranges");
+        let joint = ctx.selectivity(&[table], &[(table, &range_conj)]);
+        let result_rows = rows * joint;
+        candidates.push(Candidate {
+            plan: PhysicalPlan::IndexIntersection {
+                table: table.to_string(),
+                ranges: ranges.iter().map(|(_, r)| r.clone()).collect(),
+                residual: residual(&consumed),
+            },
+            cost_ms: ctx
+                .model
+                .index_intersection_ms(table, &entries, result_rows),
+            out_rows,
+            sorted_by,
+        });
+    }
+
+    candidates
+}

@@ -1,0 +1,137 @@
+//! Logical queries: the paper's SPJ-with-FK-joins model plus aggregation.
+
+use rqo_core::ConfidenceThreshold;
+use rqo_exec::AggExpr;
+use rqo_expr::Expr;
+
+/// A logical query: a set of tables implicitly joined along declared
+/// foreign keys, per-table selection predicates, and an optional aggregate
+/// on top.
+///
+/// Join predicates are not written explicitly — the optimizer derives them
+/// from the catalog's FK edges between the listed tables, matching the
+/// paper's assumption that all joins are foreign-key joins over an acyclic
+/// join graph.
+///
+/// Column references in `group_by` and `aggregates` are resolved by bare
+/// name against the join output.  When two joined tables share a column
+/// name (e.g. `d_attr` across several dimension tables), the colliding
+/// columns are disambiguated with `l.`/`r.` prefixes and a bare reference
+/// to them fails at execution; qualified output references are future
+/// work — per-table *predicates* are unaffected, since they bind against
+/// their own table's schema before the join.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Tables referenced by the query.
+    pub tables: Vec<String>,
+    /// Local predicates, attached to the table they reference.
+    pub predicates: Vec<(String, Expr)>,
+    /// Grouping columns (empty = scalar aggregate or plain SPJ).
+    pub group_by: Vec<String>,
+    /// Aggregates (empty = return the join result itself).
+    pub aggregates: Vec<AggExpr>,
+    /// Per-query robustness hint (paper §6.2.5), overriding the
+    /// system-wide confidence threshold for this query only.
+    pub hint: Option<ConfidenceThreshold>,
+}
+
+impl Query {
+    /// Starts a query over the given tables.
+    pub fn over(tables: &[&str]) -> Self {
+        assert!(!tables.is_empty(), "query needs at least one table");
+        Self {
+            tables: tables.iter().map(|t| t.to_string()).collect(),
+            predicates: Vec::new(),
+            group_by: Vec::new(),
+            aggregates: Vec::new(),
+            hint: None,
+        }
+    }
+
+    /// Adds a local predicate on one table.  Multiple predicates on the
+    /// same table are ANDed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is not part of the query.
+    pub fn filter(mut self, table: &str, predicate: Expr) -> Self {
+        assert!(
+            self.tables.iter().any(|t| t == table),
+            "filter on {table:?} which is not in the query"
+        );
+        if let Some((_, existing)) = self.predicates.iter_mut().find(|(t, _)| t == table) {
+            let combined = existing.clone().and(predicate);
+            *existing = combined;
+        } else {
+            self.predicates.push((table.to_string(), predicate));
+        }
+        self
+    }
+
+    /// Adds an aggregate output.
+    pub fn aggregate(mut self, agg: AggExpr) -> Self {
+        self.aggregates.push(agg);
+        self
+    }
+
+    /// Sets grouping columns.
+    pub fn group(mut self, columns: &[&str]) -> Self {
+        self.group_by = columns.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Attaches a per-query confidence-threshold hint.
+    pub fn with_hint(mut self, threshold: ConfidenceThreshold) -> Self {
+        self.hint = Some(threshold);
+        self
+    }
+
+    /// The predicate attached to a table, if any.
+    pub fn predicate_for(&self, table: &str) -> Option<&Expr> {
+        self.predicates
+            .iter()
+            .find(|(t, _)| t == table)
+            .map(|(_, e)| e)
+    }
+
+    /// Table names as `&str`s (estimator request shape).
+    pub fn table_refs(&self) -> Vec<&str> {
+        self.tables.iter().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let q = Query::over(&["lineitem", "orders"])
+            .filter("lineitem", Expr::col("l_quantity").gt(Expr::lit(5.0)))
+            .filter("lineitem", Expr::col("l_quantity").lt(Expr::lit(10.0)))
+            .filter("orders", Expr::col("o_totalprice").gt(Expr::lit(0.0)))
+            .aggregate(AggExpr::count_star("n"))
+            .group(&["l_partkey"])
+            .with_hint(ConfidenceThreshold::new(0.95));
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.predicates.len(), 2); // lineitem preds merged
+        let li = q.predicate_for("lineitem").unwrap();
+        assert_eq!(li.conjuncts().len(), 2);
+        assert!(q.predicate_for("part").is_none());
+        assert_eq!(q.group_by, vec!["l_partkey"]);
+        assert_eq!(q.hint.unwrap().percent(), 95.0);
+        assert_eq!(q.table_refs(), vec!["lineitem", "orders"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the query")]
+    fn filter_requires_listed_table() {
+        Query::over(&["a"]).filter("b", Expr::col("x").eq(Expr::lit(1i64)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn rejects_empty_table_list() {
+        Query::over(&[]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Cost-model fidelity tests: the optimizer's estimated cost, evaluated
+//! at *exact* cardinalities (oracle estimator), must track the executor's
+//! actual charged cost for every plan family.  This is the property that
+//! makes the whole robustness story meaningful — a percentile of a wrong
+//! cost model would be robust noise.
+
+use std::sync::Arc;
+
+use rqo_core::OracleEstimator;
+use rqo_datagen::{workload, StarConfig, StarData, TpchConfig, TpchData};
+use rqo_exec::AggExpr;
+use rqo_optimizer::{Optimizer, Query};
+use rqo_storage::{Catalog, CostParams};
+
+fn assert_cost_tracks(
+    planned: &rqo_optimizer::PlannedQuery,
+    catalog: &Arc<Catalog>,
+    params: &CostParams,
+    tolerance_factor: f64,
+    context: &str,
+) {
+    let (_, cost) = rqo_exec::execute(&planned.plan, catalog, params);
+    let actual_ms = cost.millis(params);
+    let est_ms = planned.estimated_cost_ms;
+    assert!(
+        est_ms <= actual_ms * tolerance_factor && actual_ms <= est_ms * tolerance_factor,
+        "{context}: estimated {est_ms:.1}ms vs executed {actual_ms:.1}ms \
+         (plan {})",
+        planned.shape()
+    );
+}
+
+#[test]
+fn exp1_costs_track_execution_with_exact_cardinalities() {
+    let cat = Arc::new(
+        TpchData::generate(&TpchConfig {
+            scale_factor: 0.01,
+            seed: 5,
+        })
+        .into_catalog(),
+    );
+    let params = CostParams::default();
+    let opt = Optimizer::new(
+        Arc::clone(&cat),
+        params,
+        Arc::new(OracleEstimator::new(Arc::clone(&cat))),
+    );
+    for offset in [0i64, 60, 100, 115, 130] {
+        let q = Query::over(&["lineitem"])
+            .filter("lineitem", workload::exp1_lineitem_predicate(offset))
+            .aggregate(AggExpr::sum("l_extendedprice", "rev"));
+        let planned = opt.optimize(&q);
+        assert_cost_tracks(
+            &planned,
+            &cat,
+            &params,
+            1.5,
+            &format!("exp1 offset {offset}"),
+        );
+    }
+}
+
+#[test]
+fn exp2_costs_track_execution_with_exact_cardinalities() {
+    let cat = Arc::new(
+        TpchData::generate(&TpchConfig {
+            scale_factor: 0.01,
+            seed: 6,
+        })
+        .into_catalog(),
+    );
+    let params = CostParams::default();
+    let opt = Optimizer::new(
+        Arc::clone(&cat),
+        params,
+        Arc::new(OracleEstimator::new(Arc::clone(&cat))),
+    );
+    for window in [60i64, 200, 220, 240] {
+        let q = Query::over(&["lineitem", "orders", "part"])
+            .filter("part", workload::exp2_part_predicate(window))
+            .aggregate(AggExpr::count_star("n"));
+        let planned = opt.optimize(&q);
+        // Joins compound approximation error (hash sizing, page
+        // coalescing); allow 2x.
+        assert_cost_tracks(
+            &planned,
+            &cat,
+            &params,
+            2.0,
+            &format!("exp2 window {window}"),
+        );
+    }
+}
+
+#[test]
+fn exp3_costs_track_execution_with_exact_cardinalities() {
+    let cat = Arc::new(
+        StarData::generate(&StarConfig {
+            fact_rows: 200_000,
+            seed: 7,
+        })
+        .into_catalog(),
+    );
+    let params = CostParams::default();
+    let opt = Optimizer::new(
+        Arc::clone(&cat),
+        params,
+        Arc::new(OracleEstimator::new(Arc::clone(&cat))),
+    );
+    for level in [0i64, 5, 9] {
+        let mut q = Query::over(&["fact", "dim1", "dim2", "dim3"])
+            .aggregate(AggExpr::sum("f_measure1", "total"));
+        for dim in ["dim1", "dim2", "dim3"] {
+            q = q.filter(dim, workload::exp3_dim_predicate(level));
+        }
+        let planned = opt.optimize(&q);
+        assert_cost_tracks(&planned, &cat, &params, 2.0, &format!("exp3 level {level}"));
+    }
+}
+
+/// Forced-plan comparison: for each access path of the Experiment-1
+/// query, the cost model's prediction at exact cardinalities must rank
+/// the paths in the same order as actual execution.
+#[test]
+fn cost_model_ranks_access_paths_like_the_executor() {
+    use rqo_exec::{IndexRange, PhysicalPlan};
+    use rqo_storage::parse_date;
+
+    let cat = Arc::new(
+        TpchData::generate(&TpchConfig {
+            scale_factor: 0.01,
+            seed: 8,
+        })
+        .into_catalog(),
+    );
+    let params = CostParams::default();
+    let model = rqo_optimizer::CostModel::new(&cat, &params);
+    let lineitem_rows = cat.table("lineitem").unwrap().num_rows() as f64;
+
+    for offset in [0i64, 110, 130] {
+        let pred = workload::exp1_lineitem_predicate(offset);
+        let truth = workload::true_selectivity(cat.table("lineitem").unwrap(), &pred);
+        // Marginal entry counts for the two date indexes (≈ constant).
+        let ship_pred = rqo_expr::Expr::col("l_shipdate").between(
+            rqo_expr::Expr::lit(parse_date("1997-07-01")),
+            rqo_expr::Expr::lit(parse_date("1997-09-30")),
+        );
+        let marginal = workload::true_selectivity(cat.table("lineitem").unwrap(), &ship_pred);
+        let entries = lineitem_rows * marginal;
+
+        let predicted_scan = model.seq_scan_ms("lineitem");
+        let predicted_sect =
+            model.index_intersection_ms("lineitem", &[entries, entries], lineitem_rows * truth);
+
+        let scan_plan = PhysicalPlan::SeqScan {
+            table: "lineitem".into(),
+            predicate: Some(pred.clone()),
+        };
+        let lo = parse_date("1997-07-01");
+        let hi = parse_date("1997-09-30");
+        let sect_plan = PhysicalPlan::IndexIntersection {
+            table: "lineitem".into(),
+            ranges: vec![
+                IndexRange::between("l_shipdate", lo.clone(), hi.clone()),
+                IndexRange::between(
+                    "l_receiptdate",
+                    rqo_storage::Value::Date(lo.as_date() + offset as i32),
+                    rqo_storage::Value::Date(hi.as_date() + offset as i32),
+                ),
+            ],
+            residual: None,
+        };
+        let (_, scan_cost) = rqo_exec::execute(&scan_plan, &cat, &params);
+        let (_, sect_cost) = rqo_exec::execute(&sect_plan, &cat, &params);
+
+        let predicted_winner = predicted_scan < predicted_sect;
+        let actual_winner = scan_cost.millis(&params) < sect_cost.millis(&params);
+        assert_eq!(
+            predicted_winner,
+            actual_winner,
+            "offset {offset}: model and executor disagree on the winner \
+             (model: scan {predicted_scan:.1} vs sect {predicted_sect:.1}; \
+              actual: scan {:.1} vs sect {:.1})",
+            scan_cost.millis(&params),
+            sect_cost.millis(&params)
+        );
+    }
+}

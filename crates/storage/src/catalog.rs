@@ -1,0 +1,321 @@
+//! The catalog: tables, foreign keys, and indexes.
+//!
+//! Foreign-key metadata is load-bearing in this system: join-synopsis
+//! construction (paper §3.2) walks the FK graph recursively, and the
+//! optimizer only enumerates FK joins (the query model the paper assumes).
+//! The catalog therefore validates FKs at registration time and exposes the
+//! graph for traversal, asserting acyclicity as the paper does.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::StorageError;
+use crate::index::{SecondaryIndex, UniqueIndex};
+use crate::table::Table;
+
+/// Opaque identifier of a registered table (its registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub usize);
+
+/// A foreign-key edge: `from_table.from_column` references the unique key
+/// `to_table.to_column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub from_table: String,
+    /// Referencing column.
+    pub from_column: String,
+    /// Referenced table.
+    pub to_table: String,
+    /// Referenced (unique) column.
+    pub to_column: String,
+}
+
+/// In-memory catalog of tables, indexes, and FK edges.
+///
+/// Cloning is shallow: tables and indexes are shared behind `Arc`s.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: Vec<Arc<Table>>,
+    by_name: HashMap<String, TableId>,
+    foreign_keys: Vec<ForeignKey>,
+    secondary: HashMap<(String, String), Arc<SecondaryIndex>>,
+    unique: HashMap<(String, String), Arc<UniqueIndex>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table.
+    pub fn add_table(&mut self, table: Table) -> Result<TableId, StorageError> {
+        if self.by_name.contains_key(table.name()) {
+            return Err(StorageError::DuplicateTable(table.name().to_string()));
+        }
+        let id = TableId(self.tables.len());
+        self.by_name.insert(table.name().to_string(), id);
+        self.tables.push(Arc::new(table));
+        Ok(id)
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Result<&Arc<Table>, StorageError> {
+        self.by_name
+            .get(name)
+            .map(|id| &self.tables[id.0])
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Looks up a table by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is stale (not produced by this catalog).
+    pub fn table_by_id(&self, id: TableId) -> &Arc<Table> {
+        &self.tables[id.0]
+    }
+
+    /// The id for a table name.
+    pub fn table_id(&self, name: &str) -> Result<TableId, StorageError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// All registered tables in registration order.
+    pub fn tables(&self) -> impl Iterator<Item = &Arc<Table>> {
+        self.tables.iter()
+    }
+
+    /// Declares a foreign key and builds the unique index on the referenced
+    /// side if it does not already exist.
+    ///
+    /// Returns an error when either endpoint is missing or when the edge
+    /// would create a cycle in the FK graph (the paper assumes acyclic join
+    /// graphs; synopsis construction would not terminate otherwise).
+    pub fn add_foreign_key(
+        &mut self,
+        from_table: &str,
+        from_column: &str,
+        to_table: &str,
+        to_column: &str,
+    ) -> Result<(), StorageError> {
+        let from = self.table(from_table)?.clone();
+        if from.schema().index_of(from_column).is_none() {
+            return Err(StorageError::UnknownColumn {
+                table: from_table.to_string(),
+                column: from_column.to_string(),
+            });
+        }
+        let to = self.table(to_table)?.clone();
+        if to.schema().index_of(to_column).is_none() {
+            return Err(StorageError::UnknownColumn {
+                table: to_table.to_string(),
+                column: to_column.to_string(),
+            });
+        }
+        if self.reaches(to_table, from_table) {
+            return Err(StorageError::InvalidForeignKey(format!(
+                "edge {from_table} -> {to_table} would create an FK cycle"
+            )));
+        }
+        self.ensure_unique_index(to_table, to_column)?;
+        self.foreign_keys.push(ForeignKey {
+            from_table: from_table.to_string(),
+            from_column: from_column.to_string(),
+            to_table: to_table.to_string(),
+            to_column: to_column.to_string(),
+        });
+        Ok(())
+    }
+
+    /// True when `from` can reach `to` by following FK edges.
+    fn reaches(&self, from: &str, to: &str) -> bool {
+        if from == to {
+            return true;
+        }
+        self.foreign_keys
+            .iter()
+            .filter(|fk| fk.from_table == from)
+            .any(|fk| self.reaches(&fk.to_table, to))
+    }
+
+    /// All FK edges.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// FK edges leaving the given table.
+    pub fn foreign_keys_from<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(move |fk| fk.from_table == table)
+    }
+
+    /// FK edges entering the given table.
+    pub fn foreign_keys_to<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(move |fk| fk.to_table == table)
+    }
+
+    /// Builds (or returns the cached) nonclustered index on a column.
+    pub fn ensure_secondary_index(
+        &mut self,
+        table: &str,
+        column: &str,
+    ) -> Result<Arc<SecondaryIndex>, StorageError> {
+        let key = (table.to_string(), column.to_string());
+        if let Some(idx) = self.secondary.get(&key) {
+            return Ok(Arc::clone(idx));
+        }
+        let t = self.table(table)?.clone();
+        if t.schema().index_of(column).is_none() {
+            return Err(StorageError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            });
+        }
+        let idx = Arc::new(SecondaryIndex::build(&t, column));
+        self.secondary.insert(key, Arc::clone(&idx));
+        Ok(idx)
+    }
+
+    /// The nonclustered index on a column, if one has been built.
+    pub fn secondary_index(&self, table: &str, column: &str) -> Option<&Arc<SecondaryIndex>> {
+        self.secondary.get(&(table.to_string(), column.to_string()))
+    }
+
+    /// Builds (or returns the cached) unique index on a key column.
+    pub fn ensure_unique_index(
+        &mut self,
+        table: &str,
+        column: &str,
+    ) -> Result<Arc<UniqueIndex>, StorageError> {
+        let key = (table.to_string(), column.to_string());
+        if let Some(idx) = self.unique.get(&key) {
+            return Ok(Arc::clone(idx));
+        }
+        let t = self.table(table)?.clone();
+        if t.schema().index_of(column).is_none() {
+            return Err(StorageError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            });
+        }
+        let idx = Arc::new(UniqueIndex::build(&t, column));
+        self.unique.insert(key, Arc::clone(&idx));
+        Ok(idx)
+    }
+
+    /// The unique index on a column, if one has been built.
+    pub fn unique_index(&self, table: &str, column: &str) -> Option<&Arc<UniqueIndex>> {
+        self.unique.get(&(table.to_string(), column.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+    use crate::value::{DataType, Value};
+
+    fn make_table(name: &str, pk_values: &[i64], fk_values: Option<&[i64]>) -> Table {
+        let mut cols = vec![("pk", DataType::Int)];
+        if fk_values.is_some() {
+            cols.push(("fk", DataType::Int));
+        }
+        let schema = Schema::from_pairs(&cols);
+        let mut b = TableBuilder::new(name, schema, pk_values.len());
+        for (i, &pk) in pk_values.iter().enumerate() {
+            let mut row = vec![Value::Int(pk)];
+            if let Some(fks) = fk_values {
+                row.push(Value::Int(fks[i]));
+            }
+            b.push_row(&row);
+        }
+        b.finish()
+    }
+
+    fn catalog_with_fk() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(make_table("parent", &[1, 2, 3], None))
+            .unwrap();
+        cat.add_table(make_table("child", &[10, 11, 12, 13], Some(&[1, 1, 2, 3])))
+            .unwrap();
+        cat.add_foreign_key("child", "fk", "parent", "pk").unwrap();
+        cat
+    }
+
+    #[test]
+    fn table_registration_and_lookup() {
+        let cat = catalog_with_fk();
+        assert_eq!(cat.table("parent").unwrap().num_rows(), 3);
+        assert_eq!(cat.table("child").unwrap().num_rows(), 4);
+        assert!(matches!(
+            cat.table("nope"),
+            Err(StorageError::UnknownTable(_))
+        ));
+        let id = cat.table_id("child").unwrap();
+        assert_eq!(cat.table_by_id(id).name(), "child");
+        assert_eq!(cat.tables().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_table(make_table("t", &[1], None)).unwrap();
+        assert!(matches!(
+            cat.add_table(make_table("t", &[2], None)),
+            Err(StorageError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn fk_registration_builds_pk_index() {
+        let cat = catalog_with_fk();
+        let idx = cat.unique_index("parent", "pk").expect("pk index built");
+        assert_eq!(idx.get(2), Some(1));
+        assert_eq!(cat.foreign_keys().len(), 1);
+        assert_eq!(cat.foreign_keys_from("child").count(), 1);
+        assert_eq!(cat.foreign_keys_to("parent").count(), 1);
+        assert_eq!(cat.foreign_keys_from("parent").count(), 0);
+    }
+
+    #[test]
+    fn fk_validation_errors() {
+        let mut cat = Catalog::new();
+        cat.add_table(make_table("a", &[1], Some(&[1]))).unwrap();
+        assert!(cat.add_foreign_key("a", "fk", "missing", "pk").is_err());
+        assert!(cat.add_foreign_key("a", "missing", "a", "pk").is_err());
+    }
+
+    #[test]
+    fn fk_cycle_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_table(make_table("a", &[1], Some(&[1]))).unwrap();
+        cat.add_table(make_table("b", &[1], Some(&[1]))).unwrap();
+        cat.add_foreign_key("a", "fk", "b", "pk").unwrap();
+        let err = cat.add_foreign_key("b", "fk", "a", "pk");
+        assert!(matches!(err, Err(StorageError::InvalidForeignKey(_))));
+        // Self-loop is also a cycle.
+        let mut cat2 = Catalog::new();
+        cat2.add_table(make_table("a", &[1], Some(&[1]))).unwrap();
+        assert!(cat2.add_foreign_key("a", "fk", "a", "pk").is_err());
+    }
+
+    #[test]
+    fn secondary_index_caching() {
+        let mut cat = catalog_with_fk();
+        assert!(cat.secondary_index("child", "fk").is_none());
+        let a = cat.ensure_secondary_index("child", "fk").unwrap();
+        let b = cat.ensure_secondary_index("child", "fk").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(cat.secondary_index("child", "fk").is_some());
+        assert!(cat.ensure_secondary_index("child", "zzz").is_err());
+    }
+}

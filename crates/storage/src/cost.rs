@@ -1,0 +1,259 @@
+//! The simulated I/O + CPU cost model.
+//!
+//! Every operator in `rqo-exec` charges its work to a [`CostTracker`], and
+//! "execution time" is the tracked cost converted to seconds under
+//! [`CostParams`].  The default parameters are calibrated against the
+//! analytical model of the paper's §5.1: with a ~48-byte row, a sequential
+//! scan of a 6,000,000-row table costs ≈35 s (the paper's `f₁ = 35`), and
+//! fetching one scattered row through a nonclustered index costs one random
+//! I/O at 3.5 ms (the paper's `v₂ = 3.5 × 10⁻³` per qualifying tuple).  The
+//! crossover selectivity between those two access paths is then
+//! `≈ 35 / (6e6 · 0.0035) ≈ 0.17%` — scale-invariant, so experiments run at
+//! reduced scale factors preserve the paper's crossover structure.
+
+/// Tunable constants of the simulated hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Disk page size in bytes.
+    pub page_bytes: usize,
+    /// Milliseconds to read one page sequentially.
+    pub seq_page_ms: f64,
+    /// Milliseconds for one random I/O (seek + read).
+    pub random_io_ms: f64,
+    /// Milliseconds of CPU per generic tuple operation (predicate
+    /// evaluation, projection, comparison).
+    pub cpu_op_ms: f64,
+    /// Milliseconds to insert one tuple into a hash table.
+    pub hash_build_ms: f64,
+    /// Milliseconds to probe a hash table once.
+    pub hash_probe_ms: f64,
+    /// Bytes per nonclustered-index leaf entry (key + RID).
+    pub index_entry_bytes: usize,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self {
+            page_bytes: 8192,
+            seq_page_ms: 1.0,
+            random_io_ms: 3.5,
+            cpu_op_ms: 0.000_1,
+            hash_build_ms: 0.000_5,
+            hash_probe_ms: 0.000_2,
+            index_entry_bytes: 16,
+        }
+    }
+}
+
+impl CostParams {
+    /// Parameters resembling a low-latency NVMe device behind an OS page
+    /// cache: ~4 GB/s sequential (≈2 µs per 8 KB page) and ~5 µs per
+    /// random page access, so the *per-row* gap between scanning and
+    /// point-fetching collapses from the hard disk's ~600× to ~50×, and a
+    /// scan's cost is dominated by per-tuple CPU rather than I/O.
+    ///
+    /// This preset is not in the paper — it is the forward-looking
+    /// ablation its model invites: the robustness problem is driven by how
+    /// steep the risky plan's cost line is relative to the stable one's,
+    /// so on storage where random reads approach CPU cost the crossover
+    /// moves to percent-level selectivities, where (per §5.2.3 / Figure 8)
+    /// estimation is easy and the threshold barely matters.
+    pub fn nvme_ssd() -> Self {
+        Self {
+            page_bytes: 8192,
+            seq_page_ms: 0.002,
+            random_io_ms: 0.005,
+            cpu_op_ms: 0.000_1,
+            hash_build_ms: 0.000_5,
+            hash_probe_ms: 0.000_2,
+            index_entry_bytes: 16,
+        }
+    }
+
+    /// Number of data pages occupied by `num_rows` rows of the given width.
+    pub fn data_pages(&self, num_rows: usize, row_width_bytes: usize) -> u64 {
+        let total = num_rows as u64 * row_width_bytes as u64;
+        total.div_ceil(self.page_bytes as u64).max(1)
+    }
+
+    /// Number of index leaf pages holding `num_entries` entries.
+    pub fn index_leaf_pages(&self, num_entries: usize) -> u64 {
+        let per_page = (self.page_bytes / self.index_entry_bytes).max(1) as u64;
+        (num_entries as u64).div_ceil(per_page).max(1)
+    }
+}
+
+/// Accumulated simulated work, by kind.
+///
+/// Keeping raw counters (rather than a single running total of
+/// milliseconds) lets experiments report I/O breakdowns and lets one
+/// execution be re-priced under different [`CostParams`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostTracker {
+    /// Pages read sequentially.
+    pub seq_pages: u64,
+    /// Random I/O operations.
+    pub random_ios: u64,
+    /// Generic per-tuple CPU operations.
+    pub cpu_ops: u64,
+    /// Hash-table inserts.
+    pub hash_builds: u64,
+    /// Hash-table probes.
+    pub hash_probes: u64,
+}
+
+impl CostTracker {
+    /// A fresh, zeroed tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `n` sequential page reads.
+    pub fn charge_seq_pages(&mut self, n: u64) {
+        self.seq_pages += n;
+    }
+
+    /// Charges `n` random I/Os.
+    pub fn charge_random_ios(&mut self, n: u64) {
+        self.random_ios += n;
+    }
+
+    /// Charges `n` generic CPU tuple operations.
+    pub fn charge_cpu_ops(&mut self, n: u64) {
+        self.cpu_ops += n;
+    }
+
+    /// Charges `n` hash-table inserts.
+    pub fn charge_hash_builds(&mut self, n: u64) {
+        self.hash_builds += n;
+    }
+
+    /// Charges `n` hash-table probes.
+    pub fn charge_hash_probes(&mut self, n: u64) {
+        self.hash_probes += n;
+    }
+
+    /// Adds another tracker's counters into this one.
+    pub fn absorb(&mut self, other: &CostTracker) {
+        self.seq_pages += other.seq_pages;
+        self.random_ios += other.random_ios;
+        self.cpu_ops += other.cpu_ops;
+        self.hash_builds += other.hash_builds;
+        self.hash_probes += other.hash_probes;
+    }
+
+    /// Total simulated milliseconds under the given parameters.
+    pub fn millis(&self, p: &CostParams) -> f64 {
+        self.seq_pages as f64 * p.seq_page_ms
+            + self.random_ios as f64 * p.random_io_ms
+            + self.cpu_ops as f64 * p.cpu_op_ms
+            + self.hash_builds as f64 * p.hash_build_ms
+            + self.hash_probes as f64 * p.hash_probe_ms
+    }
+
+    /// Total simulated seconds under the given parameters.
+    pub fn seconds(&self, p: &CostParams) -> f64 {
+        self.millis(p) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_calibration_matches_paper_constants() {
+        // A 6M-row table with 48-byte rows scanned sequentially should cost
+        // roughly the paper's f1 = 35 seconds.
+        let p = CostParams::default();
+        let pages = p.data_pages(6_000_000, 48);
+        let mut t = CostTracker::new();
+        t.charge_seq_pages(pages);
+        t.charge_cpu_ops(6_000_000);
+        let secs = t.seconds(&p);
+        assert!(
+            (secs - 35.0).abs() < 2.0,
+            "sequential-scan calibration drifted: {secs} s"
+        );
+
+        // One scattered RID fetch = one random I/O = the paper's v2.
+        let mut f = CostTracker::new();
+        f.charge_random_ios(1);
+        assert!((f.seconds(&p) - 0.0035).abs() < 1e-12);
+
+        // Crossover selectivity ≈ f1 / (N * v2) ≈ 0.17%, the paper's ~0.14%.
+        let crossover = secs / (6_000_000.0 * 0.0035);
+        assert!(
+            (0.001..0.0025).contains(&crossover),
+            "crossover {crossover} out of the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn page_math() {
+        let p = CostParams::default();
+        assert_eq!(p.data_pages(0, 48), 1);
+        assert_eq!(p.data_pages(1, 48), 1);
+        assert_eq!(p.data_pages(171, 48), 2); // 8208 bytes
+        assert_eq!(p.index_leaf_pages(0), 1);
+        assert_eq!(p.index_leaf_pages(512), 1);
+        assert_eq!(p.index_leaf_pages(513), 2);
+    }
+
+    #[test]
+    fn tracker_accumulates_and_absorbs() {
+        let p = CostParams::default();
+        let mut a = CostTracker::new();
+        a.charge_seq_pages(10);
+        a.charge_cpu_ops(1000);
+        let mut b = CostTracker::new();
+        b.charge_random_ios(2);
+        b.charge_hash_builds(5);
+        b.charge_hash_probes(7);
+        a.absorb(&b);
+        assert_eq!(a.seq_pages, 10);
+        assert_eq!(a.random_ios, 2);
+        assert_eq!(a.hash_builds, 5);
+        assert_eq!(a.hash_probes, 7);
+        let ms = 10.0 * 1.0 + 2.0 * 3.5 + 1000.0 * 0.0001 + 5.0 * 0.0005 + 7.0 * 0.0002;
+        assert!((a.millis(&p) - ms).abs() < 1e-12);
+        assert!((a.seconds(&p) - ms / 1000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ssd_parameters_move_the_crossover_out() {
+        // On 2005 disks the scan/fetch crossover sits below 0.25%
+        // selectivity; on NVMe-like parameters it moves past 2% — an
+        // order of magnitude of breathing room for the estimator.
+        let crossover = |p: &CostParams| {
+            let n_rows = 6_000_000u64;
+            let pages = p.data_pages(n_rows as usize, 48);
+            let mut scan = CostTracker::new();
+            scan.charge_seq_pages(pages);
+            scan.charge_cpu_ops(n_rows);
+            let scan_ms = scan.millis(p);
+            // Fetch cost is ~1 random I/O per row at low selectivity.
+            scan_ms / (n_rows as f64 * p.random_io_ms)
+        };
+        let disk = crossover(&CostParams::default());
+        let ssd = crossover(&CostParams::nvme_ssd());
+        assert!(disk < 0.0025, "disk crossover {disk}");
+        assert!(ssd > 0.015, "ssd crossover {ssd}");
+        assert!(ssd > 5.0 * disk);
+    }
+
+    #[test]
+    fn repriceable_under_different_params() {
+        let mut t = CostTracker::new();
+        t.charge_random_ios(100);
+        let slow = CostParams {
+            random_io_ms: 10.0,
+            ..CostParams::default()
+        };
+        let fast = CostParams {
+            random_io_ms: 0.1,
+            ..CostParams::default()
+        };
+        assert!(t.millis(&slow) > 99.0 * t.millis(&fast));
+    }
+}

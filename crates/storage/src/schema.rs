@@ -1,0 +1,170 @@
+//! Table schemas.
+
+use crate::value::DataType;
+
+/// Metadata for one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnMeta {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Static type.
+    pub data_type: DataType,
+}
+
+impl ColumnMeta {
+    /// Creates column metadata.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+}
+
+impl Schema {
+    /// Creates a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate column names.
+    pub fn new(columns: Vec<ColumnMeta>) -> Self {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|p| p.name == c.name),
+                "duplicate column name {:?}",
+                c.name
+            );
+        }
+        Self { columns }
+    }
+
+    /// Convenience constructor from `(&str, DataType)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Self::new(pairs.iter().map(|(n, t)| ColumnMeta::new(*n, *t)).collect())
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// The column at ordinal `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn column(&self, i: usize) -> &ColumnMeta {
+        &self.columns[i]
+    }
+
+    /// Ordinal position of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Like [`Schema::index_of`] but panics with a clear message; used where
+    /// the column has already been validated.
+    pub fn expect_index(&self, name: &str) -> usize {
+        self.index_of(name)
+            .unwrap_or_else(|| panic!("column {name:?} not in schema {:?}", self.names()))
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Builds a new schema by projecting the given ordinals, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ordinal is out of range.
+    pub fn project(&self, ordinals: &[usize]) -> Schema {
+        Schema {
+            columns: ordinals.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenates two schemas, prefixing duplicated names with the
+    /// supplied qualifiers (used when joining tables whose column names
+    /// collide).
+    pub fn join(&self, other: &Schema, left_prefix: &str, right_prefix: &str) -> Schema {
+        let mut out: Vec<ColumnMeta> = Vec::with_capacity(self.len() + other.len());
+        for c in &self.columns {
+            let clash = other.columns.iter().any(|o| o.name == c.name);
+            let name = if clash {
+                format!("{left_prefix}.{}", c.name)
+            } else {
+                c.name.clone()
+            };
+            out.push(ColumnMeta::new(name, c.data_type));
+        }
+        for c in &other.columns {
+            let clash = self.columns.iter().any(|o| o.name == c.name);
+            let name = if clash {
+                format!("{right_prefix}.{}", c.name)
+            } else {
+                c.name.clone()
+            };
+            out.push(ColumnMeta::new(name, c.data_type));
+        }
+        Schema::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_projection() {
+        let s = Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("c", DataType::Str),
+        ]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.expect_index("c"), 2);
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert_eq!(p.column(1).data_type, DataType::Int);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn rejects_duplicates() {
+        Schema::from_pairs(&[("a", DataType::Int), ("a", DataType::Int)]);
+    }
+
+    #[test]
+    fn join_disambiguates_collisions() {
+        let l = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]);
+        let r = Schema::from_pairs(&[("id", DataType::Int), ("y", DataType::Float)]);
+        let j = l.join(&r, "l", "r");
+        assert_eq!(j.names(), vec!["l.id", "x", "r.id", "y"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn expect_index_panics_for_missing() {
+        Schema::from_pairs(&[("a", DataType::Int)]).expect_index("missing");
+    }
+}

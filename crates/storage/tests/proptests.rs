@@ -1,0 +1,141 @@
+//! Property-based tests of the storage layer: index lookups against naive
+//! filtering, date arithmetic, and value ordering laws.
+
+use std::ops::Bound;
+
+use proptest::prelude::*;
+use rqo_storage::{
+    civil_from_days, days_from_civil, DataType, Schema, SecondaryIndex, Table, TableBuilder,
+    UniqueIndex, Value,
+};
+
+fn int_table(values: &[i64]) -> Table {
+    let mut b = TableBuilder::new(
+        "t",
+        Schema::from_pairs(&[("x", DataType::Int)]),
+        values.len(),
+    );
+    for &v in values {
+        b.push_row(&[Value::Int(v)]);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn index_range_equals_naive_filter(
+        values in prop::collection::vec(-50i64..50, 0..200),
+        lo in -60i64..60,
+        len in 0i64..60,
+        lo_inclusive: bool,
+        hi_inclusive: bool,
+    ) {
+        let t = int_table(&values);
+        let idx = SecondaryIndex::build(&t, "x");
+        let hi = lo + len;
+        let lo_v = Value::Int(lo);
+        let hi_v = Value::Int(hi);
+        let lo_bound = if lo_inclusive { Bound::Included(&lo_v) } else { Bound::Excluded(&lo_v) };
+        let hi_bound = if hi_inclusive { Bound::Included(&hi_v) } else { Bound::Excluded(&hi_v) };
+        let mut from_index: Vec<u32> = idx
+            .range(lo_bound, hi_bound)
+            .iter()
+            .map(|(_, rid)| *rid)
+            .collect();
+        from_index.sort_unstable();
+        let mut naive: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| {
+                let above = if lo_inclusive { v >= lo } else { v > lo };
+                let below = if hi_inclusive { v <= hi } else { v < hi };
+                above && below
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        naive.sort_unstable();
+        prop_assert_eq!(from_index, naive);
+    }
+
+    #[test]
+    fn index_eq_equals_naive_filter(values in prop::collection::vec(-20i64..20, 0..150), key in -25i64..25) {
+        let t = int_table(&values);
+        let idx = SecondaryIndex::build(&t, "x");
+        let mut hits: Vec<u32> = idx.lookup_eq(&Value::Int(key)).iter().map(|(_, r)| *r).collect();
+        hits.sort_unstable();
+        let naive: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == key)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(hits, naive);
+    }
+
+    #[test]
+    fn unique_index_finds_every_key(n in 1usize..200, offset in -1000i64..1000) {
+        let values: Vec<i64> = (0..n as i64).map(|i| i * 3 + offset).collect();
+        let t = int_table(&values);
+        let idx = UniqueIndex::build(&t, "x");
+        for (rid, &v) in values.iter().enumerate() {
+            prop_assert_eq!(idx.get(v), Some(rid as u32));
+        }
+        prop_assert_eq!(idx.get(offset - 1), None);
+    }
+
+    #[test]
+    fn civil_date_roundtrip(days in -200_000i32..200_000) {
+        let (y, m, d) = civil_from_days(days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+        prop_assert_eq!(days_from_civil(y, m, d), days);
+    }
+
+    #[test]
+    fn date_ordering_matches_day_numbers(a in -100_000i32..100_000, b in -100_000i32..100_000) {
+        let va = Value::Date(a);
+        let vb = Value::Date(b);
+        prop_assert_eq!(va.total_cmp(&vb), a.cmp(&b));
+    }
+
+    #[test]
+    fn value_total_order_is_consistent(vals in prop::collection::vec(-100i64..100, 3)) {
+        // Antisymmetry + transitivity over sampled triples of Int values
+        // (mixing in float coercion).
+        let a = Value::Int(vals[0]);
+        let b = Value::Float(vals[1] as f64 + 0.5);
+        let c = Value::Int(vals[2]);
+        let ord_ab = a.total_cmp(&b);
+        let ord_ba = b.total_cmp(&a);
+        prop_assert_eq!(ord_ab, ord_ba.reverse());
+        if a.total_cmp(&b) != std::cmp::Ordering::Greater
+            && b.total_cmp(&c) != std::cmp::Ordering::Greater
+        {
+            prop_assert_ne!(a.total_cmp(&c), std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn table_roundtrips_arbitrary_rows(
+        rows in prop::collection::vec((-1000i64..1000, -1e6f64..1e6, any::<bool>()), 0..100),
+    ) {
+        let schema = Schema::from_pairs(&[
+            ("i", DataType::Int),
+            ("f", DataType::Float),
+            ("b", DataType::Bool),
+        ]);
+        let mut builder = TableBuilder::new("t", schema, rows.len());
+        for &(i, f, b) in &rows {
+            builder.push_row(&[Value::Int(i), Value::Float(f), Value::Bool(b)]);
+        }
+        let t = builder.finish();
+        prop_assert_eq!(t.num_rows(), rows.len());
+        for (rid, &(i, f, b)) in rows.iter().enumerate() {
+            prop_assert_eq!(t.value(rid as u32, 0), Value::Int(i));
+            prop_assert_eq!(t.value(rid as u32, 1), Value::Float(f));
+            prop_assert_eq!(t.value(rid as u32, 2), Value::Bool(b));
+        }
+    }
+}

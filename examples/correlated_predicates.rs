@@ -1,0 +1,68 @@
+//! Correlated predicates: why the AVI assumption breaks optimizers, and
+//! what the robust estimator does about it (the paper's Experiment 1 in
+//! miniature).
+//!
+//! The query template fixes two BETWEEN predicates whose *marginal*
+//! selectivities never change; a date offset slides their overlap, so the
+//! *joint* selectivity sweeps from ~4% down to 0.  One-dimensional
+//! histograms cannot see the difference; a join-synopsis sample can.
+//!
+//! ```sh
+//! cargo run --release --example correlated_predicates
+//! ```
+
+use std::sync::Arc;
+
+use robust_qo::prelude::*;
+
+fn main() {
+    let catalog = Arc::new(
+        TpchData::generate(&TpchConfig {
+            scale_factor: 0.01, // ~60k lineitem rows
+            seed: 11,
+        })
+        .into_catalog(),
+    );
+    let lineitem = catalog.table("lineitem").expect("lineitem exists");
+
+    // Statistics: one 500-tuple synopsis repository and the 250-bucket
+    // histogram baseline.
+    let synopses = Arc::new(SynopsisRepository::build_all(&catalog, 500, 1));
+    let histogram: Arc<dyn CardinalityEstimator> =
+        Arc::new(HistogramEstimator::build_default(&catalog));
+    let robust: Arc<dyn CardinalityEstimator> = Arc::new(RobustEstimator::new(
+        Arc::clone(&synopses),
+        EstimatorConfig::with_threshold(ConfidenceThreshold::new(0.8)),
+    ));
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} | {:>18} {:>18}",
+        "offset", "true sel", "robust est", "AVI est", "robust plan", "histogram plan"
+    );
+    let params = CostParams::default();
+    for offset in [0i64, 60, 85, 95, 105, 115, 130] {
+        let pred = exp1_lineitem_predicate(offset);
+        let truth = true_selectivity(lineitem, &pred);
+        let request = EstimationRequest::single("lineitem", &pred);
+        let r_est = robust.estimate(&request).selectivity;
+        let h_est = histogram.estimate(&request).selectivity;
+
+        let query = Query::over(&["lineitem"])
+            .filter("lineitem", pred)
+            .aggregate(AggExpr::sum("l_extendedprice", "revenue"));
+        let r_plan = Optimizer::new(Arc::clone(&catalog), params, Arc::clone(&robust))
+            .optimize(&query)
+            .shape();
+        let h_plan = Optimizer::new(Arc::clone(&catalog), params, Arc::clone(&histogram))
+            .optimize(&query)
+            .shape();
+        println!(
+            "{offset:>8} {truth:>10.5} {r_est:>12.5} {h_est:>12.5} | {r_plan:>18} {h_plan:>18}"
+        );
+    }
+    println!(
+        "\nThe AVI estimate never moves (marginals are constant), so the histogram \
+         optimizer is locked into one plan; the sampling estimate tracks the joint \
+         selectivity and switches plans at the crossover."
+    );
+}

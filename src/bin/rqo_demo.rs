@@ -1,0 +1,162 @@
+//! `rqo_demo` — command-line driver for the three paper scenarios.
+//!
+//! ```sh
+//! rqo_demo exp1 --offset 110 --threshold 80 --scale 0.01
+//! rqo_demo exp2 --window 212 --threshold 50
+//! rqo_demo exp3 --level 2 --fact-rows 500000 --threshold 95
+//! ```
+//!
+//! Prints the chosen plan, the result row, the simulated execution time,
+//! and — for contrast — what the histogram-based baseline would have
+//! picked for the same query.
+
+use std::sync::Arc;
+
+use robust_qo::prelude::*;
+
+struct Args {
+    scenario: String,
+    offset: i64,
+    window: i64,
+    level: i64,
+    threshold_pct: f64,
+    scale: f64,
+    fact_rows: usize,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            scenario: String::new(),
+            offset: 110,
+            window: 212,
+            level: 2,
+            threshold_pct: 80.0,
+            scale: 0.01,
+            fact_rows: 500_000,
+            seed: 7,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.is_empty() {
+            eprintln!(
+                "usage: rqo_demo <exp1|exp2|exp3> [--offset N] [--window N] [--level N] \
+                 [--threshold PCT] [--scale F] [--fact-rows N] [--seed N]"
+            );
+            std::process::exit(2);
+        }
+        args.scenario = argv[0].clone();
+        let mut i = 1;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            let value = argv
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("missing value after {flag}"));
+            match flag {
+                "--offset" => args.offset = value.parse().expect("--offset"),
+                "--window" => args.window = value.parse().expect("--window"),
+                "--level" => args.level = value.parse().expect("--level"),
+                "--threshold" => args.threshold_pct = value.parse().expect("--threshold"),
+                "--scale" => args.scale = value.parse().expect("--scale"),
+                "--fact-rows" => args.fact_rows = value.parse().expect("--fact-rows"),
+                "--seed" => args.seed = value.parse().expect("--seed"),
+                other => panic!("unknown flag {other:?}"),
+            }
+            i += 2;
+        }
+        args
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    if !(0.0 < args.threshold_pct && args.threshold_pct < 100.0) {
+        eprintln!(
+            "--threshold must be strictly between 0 and 100 (got {})",
+            args.threshold_pct
+        );
+        std::process::exit(2);
+    }
+    let threshold = ConfidenceThreshold::from_percent(args.threshold_pct);
+
+    let (catalog, query) = match args.scenario.as_str() {
+        "exp1" => {
+            let cat = TpchData::generate(&TpchConfig {
+                scale_factor: args.scale,
+                seed: args.seed,
+            })
+            .into_catalog();
+            let q = Query::over(&["lineitem"])
+                .filter("lineitem", exp1_lineitem_predicate(args.offset))
+                .aggregate(AggExpr::sum("l_extendedprice", "revenue"))
+                .aggregate(AggExpr::count_star("n"));
+            (cat, q)
+        }
+        "exp2" => {
+            let cat = TpchData::generate(&TpchConfig {
+                scale_factor: args.scale,
+                seed: args.seed,
+            })
+            .into_catalog();
+            let q = Query::over(&["lineitem", "orders", "part"])
+                .filter("part", exp2_part_predicate(args.window))
+                .aggregate(AggExpr::sum("l_extendedprice", "revenue"))
+                .aggregate(AggExpr::count_star("n"));
+            (cat, q)
+        }
+        "exp3" => {
+            let cat = StarData::generate(&StarConfig {
+                fact_rows: args.fact_rows,
+                seed: args.seed,
+            })
+            .into_catalog();
+            let mut q = Query::over(&["fact", "dim1", "dim2", "dim3"])
+                .aggregate(AggExpr::sum("f_measure1", "total"))
+                .aggregate(AggExpr::count_star("n"));
+            for dim in ["dim1", "dim2", "dim3"] {
+                q = q.filter(dim, exp3_dim_predicate(args.level));
+            }
+            (cat, q)
+        }
+        other => {
+            eprintln!("unknown scenario {other:?} (expected exp1|exp2|exp3)");
+            std::process::exit(2);
+        }
+    };
+
+    // Histogram baseline for contrast (before the catalog moves into the
+    // facade).
+    let catalog = Arc::new(catalog);
+    let baseline: Arc<dyn CardinalityEstimator> =
+        Arc::new(HistogramEstimator::build_default(&catalog));
+    let baseline_opt = Optimizer::new(Arc::clone(&catalog), CostParams::default(), baseline);
+    let baseline_plan = baseline_opt.optimize(&query);
+
+    let db = RobustDb::with_options(
+        Arc::try_unwrap(catalog).unwrap_or_else(|arc| (*arc).clone()),
+        CostParams::default(),
+        500,
+        args.seed,
+    )
+    .with_threshold(threshold);
+
+    let outcome = db.run(&query);
+    println!("scenario: {}  (T = {}%)", args.scenario, args.threshold_pct);
+    println!("\nrobust plan:\n{}", outcome.plan.explain());
+    print!("result: ");
+    for (c, v) in outcome.columns.iter().zip(&outcome.rows[0]) {
+        print!("{c}={v}  ");
+    }
+    println!(
+        "\nsimulated time: {:.4}s  (optimizer estimate {:.4}s)",
+        outcome.simulated_seconds, outcome.estimated_seconds
+    );
+
+    let (_, baseline_cost) =
+        robust_qo::exec::execute(&baseline_plan.plan, db.catalog(), &CostParams::default());
+    println!(
+        "\nhistogram baseline would pick: {}  ({:.4}s)",
+        baseline_plan.shape(),
+        baseline_cost.seconds(&CostParams::default())
+    );
+}

@@ -29,6 +29,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// Output directory for CSV files.
     pub out_dir: String,
+    /// Executor worker threads (1 = serial).  Parallelism changes
+    /// wall-clock time only; simulated costs are thread-count invariant.
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
@@ -41,14 +44,15 @@ impl Default for RunConfig {
             thresholds: vec![0.05, 0.20, 0.50, 0.80, 0.95],
             seed: 20050614, // the paper's conference date
             out_dir: "results".to_string(),
+            threads: 1,
         }
     }
 }
 
 impl RunConfig {
     /// Parses `--scale F --fact-rows N --sample-size N --repeats N
-    /// --seed N --out DIR --quick` from `std::env::args`.  `--quick`
-    /// shrinks scale and repeats for smoke runs.
+    /// --seed N --out DIR --threads N --quick` from `std::env::args`.
+    /// `--quick` shrinks scale and repeats for smoke runs.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         Self::parse(&args)
@@ -67,13 +71,14 @@ impl RunConfig {
                 i += 1;
                 continue;
             }
-            const KNOWN: [&str; 6] = [
+            const KNOWN: [&str; 7] = [
                 "--scale",
                 "--fact-rows",
                 "--sample-size",
                 "--repeats",
                 "--seed",
                 "--out",
+                "--threads",
             ];
             assert!(
                 KNOWN.contains(&flag),
@@ -89,6 +94,7 @@ impl RunConfig {
                 "--repeats" => cfg.repeats = value.parse().expect("--repeats"),
                 "--seed" => cfg.seed = value.parse().expect("--seed"),
                 "--out" => cfg.out_dir = value.to_string(),
+                "--threads" => cfg.threads = value.parse().expect("--threads"),
                 _ => unreachable!("validated above"),
             }
             i += 2;
@@ -138,6 +144,7 @@ pub fn run_scenario(
     cfg: &RunConfig,
 ) -> ScenarioResult {
     let sorted_columns = detect_sorted_columns(catalog);
+    let exec_opts = rqo_exec::ExecOptions::with_threads(cfg.threads);
     let mut exec_cache: HashMap<(usize, String), f64> = HashMap::new();
     let mut run_plan = |qi: usize, plan: &rqo_exec::PhysicalPlan| -> f64 {
         // Memo key = (query, rendered plan).  `explain()` omits index-seek
@@ -148,7 +155,7 @@ pub fn run_scenario(
         if let Some(&s) = exec_cache.get(&key) {
             return s;
         }
-        let (_, cost) = rqo_exec::execute(plan, catalog, params);
+        let (_, cost) = rqo_exec::execute_with(plan, catalog, params, &exec_opts);
         let s = cost.seconds(params);
         exec_cache.insert(key, s);
         s
@@ -309,6 +316,18 @@ mod tests {
     use super::*;
     use rqo_datagen::{workload, TpchConfig, TpchData};
     use rqo_exec::AggExpr;
+
+    #[test]
+    fn parse_threads_flag() {
+        let args: Vec<String> = ["--threads", "8", "--repeats", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = RunConfig::parse(&args);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.repeats, 2);
+        assert_eq!(RunConfig::default().threads, 1);
+    }
 
     #[test]
     fn scenario_runner_produces_all_series() {

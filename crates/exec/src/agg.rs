@@ -72,6 +72,51 @@ impl AggState {
         }
     }
 
+    /// Folds another partial state for the same aggregate into this one
+    /// (used when merging per-morsel partial aggregations).
+    ///
+    /// For SUM/AVG the merge adds partial float sums, which is exact
+    /// whenever the addends are exactly representable (e.g. integer-valued
+    /// data) and associative-up-to-ulp otherwise; COUNT/MIN/MAX merges are
+    /// always exact.
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Sum(a), AggState::Sum(b)) => *a += b,
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (
+                AggState::Avg { sum, count },
+                AggState::Avg {
+                    sum: other_sum,
+                    count: other_count,
+                },
+            ) => {
+                *sum += other_sum;
+                *count += other_count;
+            }
+            (AggState::Min(cur), AggState::Min(other)) => {
+                if let Some(v) = other {
+                    if cur
+                        .as_ref()
+                        .is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Less)
+                    {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(cur), AggState::Max(other)) => {
+                if let Some(v) = other {
+                    if cur
+                        .as_ref()
+                        .is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Greater)
+                    {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
     fn finish(self) -> Value {
         match self {
             AggState::Sum(acc) => Value::Float(acc),
@@ -116,26 +161,99 @@ pub fn hash_aggregate(
     group_by: &[String],
     aggregates: &[AggExpr],
 ) -> Batch {
-    let group_idx: Vec<usize> = group_by
+    let (group_idx, agg_idx) = resolve_indices(&input, group_by, aggregates);
+    tracker.charge_hash_builds(input.len() as u64);
+    let groups = accumulate(&input.rows, &group_idx, &agg_idx, aggregates);
+    finalize(tracker, input, group_by, aggregates, group_idx, groups)
+}
+
+/// Morsel-parallel [`hash_aggregate`]: each morsel accumulates a partial
+/// `group → states` map; the coordinator merges the partials **in morsel
+/// index order** via [`AggState::merge`], then finalizes exactly as the
+/// serial operator does.
+///
+/// Because morsel boundaries depend only on the morsel size, the merge
+/// tree — and therefore every float-summation order — is identical for
+/// every thread count: 2-thread and 8-thread runs are bit-identical.
+/// Against the *serial* operator, COUNT/MIN/MAX and integer-valued
+/// SUM/AVG are exact; irrational float sums may differ in the last ulp
+/// (row-order vs. morsel-merge-order association).
+pub fn hash_aggregate_par(
+    tracker: &mut CostTracker,
+    input: Batch,
+    group_by: &[String],
+    aggregates: &[AggExpr],
+    opts: &crate::morsel::ExecOptions,
+) -> Batch {
+    let (group_idx, agg_idx) = resolve_indices(&input, group_by, aggregates);
+    tracker.charge_hash_builds(input.len() as u64);
+    let partials = crate::morsel::run_morsels(opts, input.len(), |morsel| {
+        accumulate(&input.rows[morsel], &group_idx, &agg_idx, aggregates)
+    });
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    for partial in partials {
+        for (key, states) in partial {
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut existing) => {
+                    for (into, from) in existing.get_mut().iter_mut().zip(states) {
+                        into.merge(from);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(states);
+                }
+            }
+        }
+    }
+    finalize(tracker, input, group_by, aggregates, group_idx, groups)
+}
+
+/// Resolves grouping and aggregate-input column ordinals.
+fn resolve_indices(
+    input: &Batch,
+    group_by: &[String],
+    aggregates: &[AggExpr],
+) -> (Vec<usize>, Vec<Option<usize>>) {
+    let group_idx = group_by
         .iter()
         .map(|g| input.schema.expect_index(g))
         .collect();
-    let agg_idx: Vec<Option<usize>> = aggregates
+    let agg_idx = aggregates
         .iter()
         .map(|a| a.column.as_ref().map(|c| input.schema.expect_index(c)))
         .collect();
+    (group_idx, agg_idx)
+}
 
-    tracker.charge_hash_builds(input.len() as u64);
+/// Accumulates aggregate states over a slice of rows, in row order.
+fn accumulate(
+    rows: &[Vec<Value>],
+    group_idx: &[usize],
+    agg_idx: &[Option<usize>],
+    aggregates: &[AggExpr],
+) -> HashMap<Vec<Value>, Vec<AggState>> {
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-    for row in &input.rows {
+    for row in rows {
         let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
         let states = groups
             .entry(key)
             .or_insert_with(|| aggregates.iter().map(|a| AggState::new(a.func)).collect());
-        for (state, idx) in states.iter_mut().zip(&agg_idx) {
+        for (state, idx) in states.iter_mut().zip(agg_idx) {
             state.update(idx.map(|i| &row[i]));
         }
     }
+    groups
+}
+
+/// Builds the output schema and the deterministically ordered result rows.
+fn finalize(
+    tracker: &mut CostTracker,
+    input: Batch,
+    group_by: &[String],
+    aggregates: &[AggExpr],
+    group_idx: Vec<usize>,
+    mut groups: HashMap<Vec<Value>, Vec<AggState>>,
+) -> Batch {
     // Scalar aggregates over empty input still produce one group.
     if group_by.is_empty() && groups.is_empty() {
         groups.insert(
@@ -276,6 +394,55 @@ mod tests {
             &[AggExpr::sum("x", "s")],
         );
         assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial() {
+        use crate::morsel::ExecOptions;
+        // Integer-valued floats: partial-sum merges are exact, so the
+        // parallel result must be bit-identical to serial.
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| vec![Value::Int(i % 7), Value::Float((i * 3 % 100) as f64)])
+            .collect();
+        let b = Batch::new(
+            Schema::from_pairs(&[("g", DataType::Int), ("x", DataType::Float)]),
+            rows,
+        );
+        let aggs = [
+            AggExpr::sum("x", "s"),
+            AggExpr::count_star("n"),
+            AggExpr::avg("x", "a"),
+            AggExpr::min("x", "lo"),
+            AggExpr::max("x", "hi"),
+        ];
+        for group_by in [vec![], vec!["g".to_string()]] {
+            let mut ts = CostTracker::new();
+            let serial = hash_aggregate(&mut ts, b.clone(), &group_by, &aggs);
+            for threads in [1, 2, 8] {
+                let opts = ExecOptions::with_threads(threads).with_morsel_size(64);
+                let mut tp = CostTracker::new();
+                let par = hash_aggregate_par(&mut tp, b.clone(), &group_by, &aggs, &opts);
+                assert_eq!(par.rows, serial.rows, "threads={threads}");
+                assert_eq!(tp, ts, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_empty_input_identity_row() {
+        use crate::morsel::ExecOptions;
+        let empty = Batch::empty(Schema::from_pairs(&[("x", DataType::Float)]));
+        let mut tracker = CostTracker::new();
+        let out = hash_aggregate_par(
+            &mut tracker,
+            empty,
+            &[],
+            &[AggExpr::sum("x", "s"), AggExpr::count_star("n")],
+            &ExecOptions::with_threads(4),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Float(0.0));
+        assert_eq!(out.rows[0][1], Value::Int(0));
     }
 
     #[test]

@@ -34,6 +34,20 @@ impl Batch {
         }
     }
 
+    /// Concatenates per-morsel row chunks, in order, into one batch.
+    ///
+    /// Parallel operators produce one chunk per morsel; recombining them
+    /// in morsel index order reproduces the serial operator's row order
+    /// exactly.
+    pub fn from_parts(schema: Schema, parts: Vec<Vec<Vec<Value>>>) -> Self {
+        let total = parts.iter().map(Vec::len).sum();
+        let mut rows = Vec::with_capacity(total);
+        for part in parts {
+            rows.extend(part);
+        }
+        Self::new(schema, rows)
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -88,6 +102,19 @@ mod tests {
             b.column_values("b"),
             vec![Value::Int(9), Value::Int(5), Value::Int(7)]
         );
+    }
+
+    #[test]
+    fn from_parts_concatenates_in_order() {
+        let b = batch();
+        let parts = vec![
+            vec![b.rows[0].clone()],
+            Vec::new(),
+            vec![b.rows[1].clone(), b.rows[2].clone()],
+        ];
+        let joined = Batch::from_parts(b.schema.clone(), parts);
+        assert_eq!(joined.rows, b.rows);
+        assert!(Batch::from_parts(b.schema.clone(), Vec::new()).is_empty());
     }
 
     #[test]

@@ -2,24 +2,47 @@
 
 use rqo_storage::{Catalog, CostParams, CostTracker};
 
-use crate::agg::hash_aggregate;
+use crate::agg::{hash_aggregate, hash_aggregate_par};
 use crate::batch::Batch;
-use crate::join::{hash_join, indexed_nl_join, merge_join, star_semijoin};
+use crate::join::{
+    hash_join, hash_join_par, indexed_nl_join, indexed_nl_join_par, merge_join, star_semijoin,
+};
+use crate::morsel::{run_morsels, ExecOptions};
 use crate::plan::PhysicalPlan;
-use crate::scan::{index_intersection, index_seek, seq_scan};
+use crate::scan::{
+    index_intersection, index_intersection_par, index_seek, index_seek_par, seq_scan, seq_scan_par,
+};
 
 /// Executes a physical plan against the catalog, returning the result and
 /// the full simulated cost of producing it.
 ///
 /// Execution is deterministic: the same plan over the same catalog always
-/// returns the same rows and the same cost.
+/// returns the same rows and the same cost.  Equivalent to
+/// [`execute_with`] under [`ExecOptions::default`] (serial).
 pub fn execute(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     params: &CostParams,
 ) -> (Batch, CostTracker) {
+    execute_with(plan, catalog, params, &ExecOptions::default())
+}
+
+/// Executes a physical plan with explicit execution options.
+///
+/// With `opts.threads > 1` the scan, fetch, hash-join, hash-aggregate,
+/// filter, and project operators run morsel-parallel (merge join and the
+/// star semijoin stay serial — they are sort- and intersection-bound).
+/// The returned [`CostTracker`] is the deterministic merge of per-morsel
+/// trackers and is **bit-identical for every thread count**: simulated
+/// cost models the plan's work, not the host's parallelism.
+pub fn execute_with(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+    opts: &ExecOptions,
+) -> (Batch, CostTracker) {
     let mut tracker = CostTracker::new();
-    let batch = run(plan, catalog, params, &mut tracker);
+    let batch = run(plan, catalog, params, &mut tracker, opts);
     (batch, tracker)
 }
 
@@ -28,46 +51,101 @@ fn run(
     catalog: &Catalog,
     params: &CostParams,
     tracker: &mut CostTracker,
+    opts: &ExecOptions,
 ) -> Batch {
+    let parallel = opts.is_parallel();
     match plan {
         PhysicalPlan::SeqScan { table, predicate } => {
-            seq_scan(catalog, params, tracker, table, predicate.as_ref())
+            if parallel {
+                seq_scan_par(catalog, params, tracker, table, predicate.as_ref(), opts)
+            } else {
+                seq_scan(catalog, params, tracker, table, predicate.as_ref())
+            }
         }
         PhysicalPlan::IndexSeek {
             table,
             range,
             residual,
-        } => index_seek(catalog, params, tracker, table, range, residual.as_ref()),
+        } => {
+            if parallel {
+                index_seek_par(
+                    catalog,
+                    params,
+                    tracker,
+                    table,
+                    range,
+                    residual.as_ref(),
+                    opts,
+                )
+            } else {
+                index_seek(catalog, params, tracker, table, range, residual.as_ref())
+            }
+        }
         PhysicalPlan::IndexIntersection {
             table,
             ranges,
             residual,
-        } => index_intersection(catalog, params, tracker, table, ranges, residual.as_ref()),
+        } => {
+            if parallel {
+                index_intersection_par(
+                    catalog,
+                    params,
+                    tracker,
+                    table,
+                    ranges,
+                    residual.as_ref(),
+                    opts,
+                )
+            } else {
+                index_intersection(catalog, params, tracker, table, ranges, residual.as_ref())
+            }
+        }
         PhysicalPlan::Filter { input, predicate } => {
-            let batch = run(input, catalog, params, tracker);
+            let batch = run(input, catalog, params, tracker, opts);
             let bound = predicate.bind(&batch.schema).expect("filter binds");
             tracker.charge_cpu_ops(batch.len() as u64);
-            let rows = batch
-                .rows
-                .into_iter()
-                .filter(|row| rqo_expr::eval_bool(&bound, row))
-                .collect();
-            Batch::new(batch.schema, rows)
+            if parallel {
+                let parts = run_morsels(opts, batch.rows.len(), |morsel| -> Vec<_> {
+                    batch.rows[morsel]
+                        .iter()
+                        .filter(|row| rqo_expr::eval_bool(&bound, row))
+                        .cloned()
+                        .collect()
+                });
+                Batch::from_parts(batch.schema, parts)
+            } else {
+                let rows = batch
+                    .rows
+                    .into_iter()
+                    .filter(|row| rqo_expr::eval_bool(&bound, row))
+                    .collect();
+                Batch::new(batch.schema, rows)
+            }
         }
         PhysicalPlan::Project { input, columns } => {
-            let batch = run(input, catalog, params, tracker);
+            let batch = run(input, catalog, params, tracker, opts);
             let ordinals: Vec<usize> = columns
                 .iter()
                 .map(|c| batch.schema.expect_index(c))
                 .collect();
             tracker.charge_cpu_ops(batch.len() as u64);
             let schema = batch.schema.project(&ordinals);
-            let rows = batch
-                .rows
-                .into_iter()
-                .map(|row| ordinals.iter().map(|&i| row[i].clone()).collect())
-                .collect();
-            Batch::new(schema, rows)
+            if parallel {
+                let parts = run_morsels(opts, batch.rows.len(), |morsel| -> Vec<_> {
+                    batch.rows[morsel]
+                        .iter()
+                        .map(|row| ordinals.iter().map(|&i| row[i].clone()).collect())
+                        .collect()
+                });
+                Batch::from_parts(schema, parts)
+            } else {
+                let rows = batch
+                    .rows
+                    .into_iter()
+                    .map(|row| ordinals.iter().map(|&i| row[i].clone()).collect())
+                    .collect();
+                Batch::new(schema, rows)
+            }
         }
         PhysicalPlan::HashJoin {
             build,
@@ -75,9 +153,13 @@ fn run(
             build_key,
             probe_key,
         } => {
-            let b = run(build, catalog, params, tracker);
-            let p = run(probe, catalog, params, tracker);
-            hash_join(tracker, b, p, build_key, probe_key)
+            let b = run(build, catalog, params, tracker, opts);
+            let p = run(probe, catalog, params, tracker, opts);
+            if parallel {
+                hash_join_par(tracker, b, p, build_key, probe_key, opts)
+            } else {
+                hash_join(tracker, b, p, build_key, probe_key)
+            }
         }
         PhysicalPlan::MergeJoin {
             left,
@@ -85,8 +167,8 @@ fn run(
             left_key,
             right_key,
         } => {
-            let l = run(left, catalog, params, tracker);
-            let r = run(right, catalog, params, tracker);
+            let l = run(left, catalog, params, tracker, opts);
+            let r = run(right, catalog, params, tracker, opts);
             merge_join(tracker, l, r, left_key, right_key)
         }
         PhysicalPlan::IndexedNlJoin {
@@ -95,16 +177,29 @@ fn run(
             inner_index_column,
             outer_key,
         } => {
-            let o = run(outer, catalog, params, tracker);
-            indexed_nl_join(
-                catalog,
-                params,
-                tracker,
-                o,
-                inner_table,
-                inner_index_column,
-                outer_key,
-            )
+            let o = run(outer, catalog, params, tracker, opts);
+            if parallel {
+                indexed_nl_join_par(
+                    catalog,
+                    params,
+                    tracker,
+                    o,
+                    inner_table,
+                    inner_index_column,
+                    outer_key,
+                    opts,
+                )
+            } else {
+                indexed_nl_join(
+                    catalog,
+                    params,
+                    tracker,
+                    o,
+                    inner_table,
+                    inner_index_column,
+                    outer_key,
+                )
+            }
         }
         PhysicalPlan::StarSemiJoin { fact_table, legs } => {
             star_semijoin(catalog, params, tracker, fact_table, legs)
@@ -114,8 +209,12 @@ fn run(
             group_by,
             aggregates,
         } => {
-            let batch = run(input, catalog, params, tracker);
-            hash_aggregate(tracker, batch, group_by, aggregates)
+            let batch = run(input, catalog, params, tracker, opts);
+            if parallel {
+                hash_aggregate_par(tracker, batch, group_by, aggregates, opts)
+            } else {
+                hash_aggregate(tracker, batch, group_by, aggregates)
+            }
         }
     }
 }
@@ -251,6 +350,43 @@ mod tests {
         assert_eq!(b1.rows, b2.rows);
         assert_eq!(c1, c2);
         assert_eq!(b1.len(), 20);
+    }
+
+    #[test]
+    fn execute_with_parallel_is_bit_identical_to_serial() {
+        let cat = catalog();
+        let params = CostParams::default();
+        // A plan exercising scan, filter, project, hash join, and
+        // aggregate in one tree.
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(PhysicalPlan::HashJoin {
+                        build: Box::new(PhysicalPlan::SeqScan {
+                            table: "orders".into(),
+                            predicate: None,
+                        }),
+                        probe: Box::new(PhysicalPlan::SeqScan {
+                            table: "items".into(),
+                            predicate: None,
+                        }),
+                        build_key: "o_id".into(),
+                        probe_key: "i_order".into(),
+                    }),
+                    predicate: Expr::col("i_price").lt(Expr::lit(80.0)),
+                }),
+                columns: vec!["o_cust".into(), "i_price".into()],
+            }),
+            group_by: vec!["o_cust".into()],
+            aggregates: vec![AggExpr::sum("i_price", "total"), AggExpr::count_star("n")],
+        };
+        let (serial, serial_cost) = execute(&plan, &cat, &params);
+        for threads in [1, 2, 8] {
+            let opts = crate::morsel::ExecOptions::with_threads(threads).with_morsel_size(16);
+            let (par, par_cost) = execute_with(&plan, &cat, &params, &opts);
+            assert_eq!(par.rows, serial.rows, "threads={threads}");
+            assert_eq!(par_cost, serial_cost, "threads={threads}");
+        }
     }
 
     #[test]

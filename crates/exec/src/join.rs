@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use rqo_storage::{Catalog, CostParams, CostTracker, Rid, Value};
 
 use crate::batch::Batch;
+use crate::morsel::{run_morsels, ExecOptions};
 use crate::plan::SemiJoinLeg;
 use crate::scan::{fetch_rows, intersect_sorted, rids_for_range};
 
@@ -47,6 +48,63 @@ pub fn hash_join(
             }
         }
     }
+    tracker.charge_cpu_ops(out.len() as u64);
+    Batch::new(schema, out)
+}
+
+/// Morsel-parallel [`hash_join`]: both the build and probe phases are
+/// partitioned into morsels.
+///
+/// Build morsels produce local `key → row indices` maps that the
+/// coordinator merges **in morsel index order**; because morsel `i` only
+/// holds indices smaller than morsel `i+1`'s, every key's index list
+/// comes out ascending — exactly the serial build order.  Probe morsels
+/// emit their matches independently and are concatenated in morsel order,
+/// reproducing the serial output row order.  All three charges
+/// (`hash_builds`, `hash_probes`, `cpu_ops`) are totals over input/output
+/// sizes, so the merged tracker is bit-identical to serial.
+pub fn hash_join_par(
+    tracker: &mut CostTracker,
+    build: Batch,
+    probe: Batch,
+    build_key: &str,
+    probe_key: &str,
+    opts: &ExecOptions,
+) -> Batch {
+    let schema = join_schemas(&build, &probe);
+    let bk = build.schema.expect_index(build_key);
+    let pk = probe.schema.expect_index(probe_key);
+
+    tracker.charge_hash_builds(build.len() as u64);
+    let partials = run_morsels(opts, build.len(), |morsel| {
+        let mut local: HashMap<Value, Vec<usize>> = HashMap::new();
+        for i in morsel {
+            local.entry(build.rows[i][bk].clone()).or_default().push(i);
+        }
+        local
+    });
+    let mut table: HashMap<Value, Vec<usize>> = HashMap::with_capacity(build.len());
+    for partial in partials {
+        for (key, mut indices) in partial {
+            table.entry(key).or_default().append(&mut indices);
+        }
+    }
+
+    tracker.charge_hash_probes(probe.len() as u64);
+    let parts = run_morsels(opts, probe.len(), |morsel| {
+        let mut out = Vec::new();
+        for prow in &probe.rows[morsel] {
+            if let Some(matches) = table.get(&prow[pk]) {
+                for &bi in matches {
+                    let mut row = build.rows[bi].clone();
+                    row.extend(prow.iter().cloned());
+                    out.push(row);
+                }
+            }
+        }
+        out
+    });
+    let out: Vec<Vec<Value>> = parts.into_iter().flatten().collect();
     tracker.charge_cpu_ops(out.len() as u64);
     Batch::new(schema, out)
 }
@@ -146,6 +204,59 @@ pub fn indexed_nl_join(
             row.extend(irow);
             out.push(row);
         }
+    }
+    tracker.charge_cpu_ops(out.len() as u64);
+    Batch::new(schema, out)
+}
+
+/// Morsel-parallel [`indexed_nl_join`]: outer rows are morselized; each
+/// worker probes the (read-only) index and fetches inner rows, charging a
+/// morsel-local tracker.
+///
+/// Every outer row's charges (descend, per-match CPU, per-call
+/// [`fetch_rows`]) are independent of the other rows, so summing the
+/// morsel trackers — all-integer counters — reproduces the serial totals
+/// exactly, and concatenating morsel outputs in index order reproduces
+/// the serial row order.
+#[allow(clippy::too_many_arguments)]
+pub fn indexed_nl_join_par(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    outer: Batch,
+    inner_table: &str,
+    inner_index_column: &str,
+    outer_key: &str,
+    opts: &ExecOptions,
+) -> Batch {
+    let inner = catalog.table(inner_table).expect("inner table exists");
+    let index = catalog
+        .secondary_index(inner_table, inner_index_column)
+        .unwrap_or_else(|| panic!("no secondary index on {inner_table}.{inner_index_column}"));
+    let ok = outer.schema.expect_index(outer_key);
+    let schema = outer.schema.join(inner.schema(), "l", "r");
+
+    let parts = run_morsels(opts, outer.rows.len(), |morsel| {
+        let mut local = CostTracker::new();
+        let mut out = Vec::new();
+        for orow in &outer.rows[morsel] {
+            local.charge_random_ios(1); // descend to the leaf for this key
+            let matches = index.lookup_eq(&orow[ok]);
+            local.charge_cpu_ops(matches.len() as u64);
+            let rids: Vec<Rid> = matches.iter().map(|(_, rid)| *rid).collect();
+            let rows = fetch_rows(inner, params, &mut local, rids);
+            for irow in rows {
+                let mut row = orow.clone();
+                row.extend(irow);
+                out.push(row);
+            }
+        }
+        (out, local)
+    });
+    let mut out = Vec::new();
+    for (rows, local) in parts {
+        tracker.absorb(&local);
+        out.extend(rows);
     }
     tracker.charge_cpu_ops(out.len() as u64);
     Batch::new(schema, out)
@@ -359,6 +470,53 @@ mod tests {
             "o_key",
         );
         assert!(large.random_ios > 5 * small.random_ios);
+    }
+
+    #[test]
+    fn parallel_hash_join_is_bit_identical_to_serial() {
+        // 200 build rows with repeated keys, 300 probe rows.
+        let bkeys: Vec<i64> = (0..200).map(|i| i % 17).collect();
+        let bvals: Vec<i64> = (0..200).collect();
+        let pkeys: Vec<i64> = (0..300).map(|i| i % 23).collect();
+        let pvals: Vec<i64> = (0..300).collect();
+        let l = batch("a", &bkeys, &bvals);
+        let r = batch("b", &pkeys, &pvals);
+        let mut ts = CostTracker::new();
+        let serial = hash_join(&mut ts, l.clone(), r.clone(), "a_key", "b_key");
+        for threads in [1, 2, 8] {
+            let opts = ExecOptions::with_threads(threads).with_morsel_size(16);
+            let mut tp = CostTracker::new();
+            let par = hash_join_par(&mut tp, l.clone(), r.clone(), "a_key", "b_key", &opts);
+            assert_eq!(par.rows, serial.rows, "threads={threads}");
+            assert_eq!(tp, ts, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_indexed_nl_join_is_bit_identical_to_serial() {
+        let cat = indexed_catalog();
+        let params = CostParams::default();
+        let okeys: Vec<i64> = (0..60).map(|i| i % 30).collect();
+        let ovals: Vec<i64> = (0..60).collect();
+        let outer = batch("o", &okeys, &ovals);
+        let mut ts = CostTracker::new();
+        let serial = indexed_nl_join(&cat, &params, &mut ts, outer.clone(), "inner", "k", "o_key");
+        for threads in [1, 2, 8] {
+            let opts = ExecOptions::with_threads(threads).with_morsel_size(7);
+            let mut tp = CostTracker::new();
+            let par = indexed_nl_join_par(
+                &cat,
+                &params,
+                &mut tp,
+                outer.clone(),
+                "inner",
+                "k",
+                "o_key",
+                &opts,
+            );
+            assert_eq!(par.rows, serial.rows, "threads={threads}");
+            assert_eq!(tp, ts, "threads={threads}");
+        }
     }
 
     fn star_catalog() -> Catalog {

@@ -20,6 +20,15 @@
 //! Operators materialize their results ([`Batch`]), which keeps the
 //! executor simple and deterministic; the experiments run at scale factors
 //! where full materialization is comfortably in-memory.
+//!
+//! # Parallel execution
+//!
+//! [`execute_with`] accepts [`ExecOptions`] and, for `threads > 1`, runs
+//! scans, RID fetches, hash-join build/probe, hash aggregation, filters,
+//! and projections **morsel-parallel** on a pool of scoped worker threads
+//! (see [`morsel`]).  Results and simulated costs are bit-identical to
+//! serial execution by construction — parallelism changes wall-clock
+//! time, never answers or charged cost.
 
 #![warn(missing_docs)]
 
@@ -27,9 +36,11 @@ pub mod agg;
 pub mod batch;
 pub mod executor;
 pub mod join;
+pub mod morsel;
 pub mod plan;
 pub mod scan;
 
 pub use batch::Batch;
-pub use executor::execute;
+pub use executor::{execute, execute_with};
+pub use morsel::ExecOptions;
 pub use plan::{AggExpr, AggFunc, IndexRange, PhysicalPlan, SemiJoinLeg};

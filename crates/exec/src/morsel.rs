@@ -1,0 +1,186 @@
+//! Morsel-driven parallel scheduling.
+//!
+//! Leaf operators and pipeline stages split their input into fixed-size
+//! **morsels** (contiguous index ranges) that a small pool of scoped
+//! worker threads pulls from a shared atomic counter — the scheduling
+//! scheme of Leis et al., "Morsel-Driven Parallelism" (SIGMOD 2014),
+//! reduced to this executor's materialize-everything model.
+//!
+//! Determinism is the design constraint, not an afterthought: every
+//! parallel operator in this crate produces morsel-local results that the
+//! coordinator recombines **in morsel index order**.  Because morsel
+//! boundaries depend only on [`ExecOptions::morsel_size`] (never on the
+//! thread count or on scheduling timing), the recombined rows and the
+//! merged [`rqo_storage::CostTracker`] totals are bit-identical across
+//! thread counts — the property the `parallel_equivalence` differential
+//! suite pins down.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default number of rows per morsel.
+///
+/// Large enough that per-morsel overhead (a hash-map allocation, an atomic
+/// increment) is amortized over thousands of rows, small enough that
+/// a scan of a bench-scale table still yields tens of morsels to balance.
+pub const DEFAULT_MORSEL_SIZE: usize = 4096;
+
+/// Execution knobs threaded through [`crate::execute_with`].
+///
+/// The default is serial execution (`threads = 1`), which takes exactly
+/// the same code paths as [`crate::execute`] did before parallelism
+/// existed — parallel operators are only entered when `threads > 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads for parallel operators.  `0` and `1` both mean
+    /// serial execution.
+    pub threads: usize,
+    /// Rows per morsel (clamped to at least 1).  Affects only how work is
+    /// chunked; results and costs are identical for every value.
+    pub morsel_size: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            morsel_size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Serial execution (the default).
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Parallel execution on `threads` workers with the default morsel
+    /// size.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the morsel size.
+    pub fn with_morsel_size(mut self, morsel_size: usize) -> Self {
+        self.morsel_size = morsel_size;
+        self
+    }
+
+    /// True when parallel operator variants should run.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+/// Splits `0..n` into morsels and applies `work` to each, returning the
+/// per-morsel results **in morsel index order**.
+///
+/// With one worker (or one morsel) this runs inline on the calling
+/// thread; otherwise `min(threads, morsels)` scoped workers pull morsel
+/// indices from an atomic counter.  `work` must be pure with respect to
+/// ordering: it may read shared state but sees no information about which
+/// worker runs it or when.
+pub(crate) fn run_morsels<T, F>(opts: &ExecOptions, n: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let size = opts.morsel_size.max(1);
+    let n_morsels = n.div_ceil(size);
+    let bounds = |i: usize| i * size..((i + 1) * size).min(n);
+    let workers = opts.threads.min(n_morsels);
+    if workers <= 1 {
+        return (0..n_morsels).map(|i| work(bounds(i))).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_morsels).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_morsels {
+                            break;
+                        }
+                        done.push((i, work(bounds(i))));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("morsel worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every morsel index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(threads: usize, morsel_size: usize) -> ExecOptions {
+        ExecOptions {
+            threads,
+            morsel_size,
+        }
+    }
+
+    #[test]
+    fn defaults_are_serial() {
+        let o = ExecOptions::default();
+        assert_eq!(o.threads, 1);
+        assert!(!o.is_parallel());
+        assert!(ExecOptions::with_threads(2).is_parallel());
+        assert!(!ExecOptions::with_threads(0).is_parallel());
+        assert_eq!(ExecOptions::serial(), ExecOptions::default());
+        assert_eq!(
+            ExecOptions::with_threads(4).with_morsel_size(7).morsel_size,
+            7
+        );
+    }
+
+    #[test]
+    fn covers_every_index_in_order() {
+        for threads in [1, 2, 8] {
+            for size in [1, 3, 10, 100] {
+                let ranges = run_morsels(&opts(threads, size), 23, |r| r);
+                let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+                assert_eq!(flat, (0..23).collect::<Vec<_>>(), "t={threads} s={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_morsels() {
+        let parts = run_morsels(&opts(8, 4), 0, |r| r.len());
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let serial = run_morsels(&opts(1, 5), 57, |r| r.sum::<usize>());
+        for threads in [2, 3, 8, 16] {
+            let par = run_morsels(&opts(threads, 5), 57, |r| r.sum::<usize>());
+            assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn zero_morsel_size_is_clamped() {
+        let parts = run_morsels(&opts(2, 0), 3, |r| r.len());
+        assert_eq!(parts, vec![1, 1, 1]);
+    }
+}

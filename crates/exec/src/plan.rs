@@ -343,6 +343,23 @@ impl PhysicalPlan {
             PhysicalPlan::HashAggregate { input, .. } => format!("agg({})", input.shape_label()),
         }
     }
+
+    /// Number of operator nodes in the tree (used by test diagnostics and
+    /// plan-complexity reports).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::IndexSeek { .. }
+            | PhysicalPlan::IndexIntersection { .. }
+            | PhysicalPlan::StarSemiJoin { .. } => 0,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. } => input.node_count(),
+            PhysicalPlan::HashJoin { build, probe, .. } => build.node_count() + probe.node_count(),
+            PhysicalPlan::MergeJoin { left, right, .. } => left.node_count() + right.node_count(),
+            PhysicalPlan::IndexedNlJoin { outer, .. } => outer.node_count(),
+        }
+    }
 }
 
 impl fmt::Display for PhysicalPlan {
@@ -379,6 +396,7 @@ mod tests {
         assert!(text.contains("SeqScan part filter=(p_x < 100)"));
         assert_eq!(plan.shape_label(), "agg(hj(seqscan,seqscan))");
         assert_eq!(plan.to_string(), text.trim_end());
+        assert_eq!(plan.node_count(), 4);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use rqo_expr::Expr;
 use rqo_storage::{Catalog, CostParams, CostTracker, Rid, Table, Value};
 
 use crate::batch::Batch;
+use crate::morsel::{run_morsels, ExecOptions};
 use crate::plan::IndexRange;
 
 /// Number of B-tree levels charged as random I/Os per index descend.
@@ -33,6 +34,38 @@ pub fn seq_scan(
         }
     }
     Batch::new(t.schema().clone(), rows)
+}
+
+/// Morsel-parallel [`seq_scan`].
+///
+/// The page and CPU charges are selectivity- and thread-independent, so
+/// they are charged centrally before the workers start; the morsels only
+/// evaluate the predicate and materialize qualifying rows.  Concatenating
+/// morsel outputs in index order reproduces the serial row order, making
+/// this bit-identical to [`seq_scan`] for every `threads`/`morsel_size`.
+pub fn seq_scan_par(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    predicate: Option<&Expr>,
+    opts: &ExecOptions,
+) -> Batch {
+    let t = catalog.table(table).expect("table exists");
+    tracker.charge_seq_pages(params.data_pages(t.num_rows(), t.row_width_bytes()));
+    tracker.charge_cpu_ops(t.num_rows() as u64);
+    let bound = predicate.map(|p| p.bind(t.schema()).expect("predicate binds"));
+    let parts = run_morsels(opts, t.num_rows(), |morsel| {
+        let mut rows = Vec::new();
+        for rid in morsel {
+            let row = t.row(rid as Rid);
+            if bound.as_ref().is_none_or(|p| rqo_expr::eval_bool(p, &row)) {
+                rows.push(row);
+            }
+        }
+        rows
+    });
+    Batch::from_parts(t.schema().clone(), parts)
 }
 
 /// Resolves one index range to its RID list, charging the index descend
@@ -66,19 +99,52 @@ pub(crate) fn fetch_rows(
 ) -> Vec<Vec<Value>> {
     rids.sort_unstable();
     rids.dedup();
+    tracker.charge_random_ios(distinct_pages(table, params, &rids));
+    tracker.charge_cpu_ops(rids.len() as u64);
+    rids.into_iter().map(|rid| table.row(rid)).collect()
+}
+
+/// Number of distinct data pages touched by an ascending RID list.
+fn distinct_pages(table: &Table, params: &CostParams, sorted_rids: &[Rid]) -> u64 {
     let rows_per_page = (params.page_bytes / table.row_width_bytes()).max(1) as u64;
     let mut pages = 0u64;
     let mut last_page = u64::MAX;
-    for &rid in &rids {
+    for &rid in sorted_rids {
         let page = rid as u64 / rows_per_page;
         if page != last_page {
             pages += 1;
             last_page = page;
         }
     }
-    tracker.charge_random_ios(pages);
+    pages
+}
+
+/// Morsel-parallel [`fetch_rows`].
+///
+/// The random-I/O charge coalesces RIDs that share a page, which is a
+/// property of the *whole* sorted RID list — splitting the list and
+/// charging per morsel would double-count pages straddling a morsel
+/// boundary.  So the charge is computed centrally over the full list and
+/// only the row materialization is farmed out to morsels.
+pub(crate) fn fetch_rows_par(
+    table: &Table,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    mut rids: Vec<Rid>,
+    opts: &ExecOptions,
+) -> Vec<Vec<Value>> {
+    rids.sort_unstable();
+    rids.dedup();
+    tracker.charge_random_ios(distinct_pages(table, params, &rids));
     tracker.charge_cpu_ops(rids.len() as u64);
-    rids.into_iter().map(|rid| table.row(rid)).collect()
+    let parts = run_morsels(opts, rids.len(), |morsel| -> Vec<Vec<Value>> {
+        rids[morsel].iter().map(|&rid| table.row(rid)).collect()
+    });
+    let mut rows = Vec::with_capacity(rids.len());
+    for part in parts {
+        rows.extend(part);
+    }
+    rows
 }
 
 /// Index seek: one range, fetch, residual filter.
@@ -90,9 +156,38 @@ pub fn index_seek(
     range: &IndexRange,
     residual: Option<&Expr>,
 ) -> Batch {
+    index_seek_impl(catalog, params, tracker, table, range, residual, None)
+}
+
+/// Morsel-parallel [`index_seek`]: the index descend and leaf scan stay
+/// serial (they are one B-tree traversal), the row fetch is morselized.
+pub fn index_seek_par(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    range: &IndexRange,
+    residual: Option<&Expr>,
+    opts: &ExecOptions,
+) -> Batch {
+    index_seek_impl(catalog, params, tracker, table, range, residual, Some(opts))
+}
+
+fn index_seek_impl(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    range: &IndexRange,
+    residual: Option<&Expr>,
+    opts: Option<&ExecOptions>,
+) -> Batch {
     let t = catalog.table(table).expect("table exists");
     let rids = rids_for_range(catalog, params, tracker, table, range);
-    let mut rows = fetch_rows(t, params, tracker, rids);
+    let mut rows = match opts {
+        Some(o) => fetch_rows_par(t, params, tracker, rids, o),
+        None => fetch_rows(t, params, tracker, rids),
+    };
     if let Some(p) = residual {
         let bound = p.bind(t.schema()).expect("residual binds");
         tracker.charge_cpu_ops(rows.len() as u64);
@@ -122,6 +217,43 @@ pub fn index_intersection(
     ranges: &[IndexRange],
     residual: Option<&Expr>,
 ) -> Batch {
+    index_intersection_impl(catalog, params, tracker, table, ranges, residual, None)
+}
+
+/// Morsel-parallel [`index_intersection`]: the leaf scans and RID-list
+/// intersection stay serial (cheap, order-sensitive), the surviving-row
+/// fetch is morselized.
+#[allow(clippy::too_many_arguments)]
+pub fn index_intersection_par(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    ranges: &[IndexRange],
+    residual: Option<&Expr>,
+    opts: &ExecOptions,
+) -> Batch {
+    index_intersection_impl(
+        catalog,
+        params,
+        tracker,
+        table,
+        ranges,
+        residual,
+        Some(opts),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn index_intersection_impl(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    ranges: &[IndexRange],
+    residual: Option<&Expr>,
+    opts: Option<&ExecOptions>,
+) -> Batch {
     assert!(
         ranges.len() >= 2,
         "index intersection needs at least two ranges"
@@ -149,7 +281,10 @@ pub fn index_intersection(
         }
     }
 
-    let mut rows = fetch_rows(t, params, tracker, acc);
+    let mut rows = match opts {
+        Some(o) => fetch_rows_par(t, params, tracker, acc, o),
+        None => fetch_rows(t, params, tracker, acc),
+    };
     if let Some(p) = residual {
         let bound = p.bind(t.schema()).expect("residual binds");
         tracker.charge_cpu_ops(rows.len() as u64);
@@ -350,6 +485,43 @@ mod tests {
         assert_eq!(intersect_sorted(&[], &[1, 2]), Vec::<Rid>::new());
         assert_eq!(intersect_sorted(&[1, 2], &[3, 4]), Vec::<Rid>::new());
         assert_eq!(intersect_sorted(&[1, 2, 3], &[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_variants_are_bit_identical_to_serial() {
+        let cat = catalog();
+        let params = CostParams::default();
+        let pred = Expr::col("y").eq(Expr::lit(3i64));
+        let mut ts = CostTracker::new();
+        let serial = seq_scan(&cat, &params, &mut ts, "t", Some(&pred));
+        for threads in [1, 2, 8] {
+            let opts = ExecOptions::with_threads(threads).with_morsel_size(64);
+            let mut tp = CostTracker::new();
+            let par = seq_scan_par(&cat, &params, &mut tp, "t", Some(&pred), &opts);
+            assert_eq!(par.rows, serial.rows, "threads={threads}");
+            assert_eq!(tp, ts, "threads={threads}");
+        }
+
+        let range = IndexRange::between("x", Value::Int(100), Value::Int(499));
+        let residual = Expr::col("y").eq(Expr::lit(7i64));
+        let mut ts = CostTracker::new();
+        let serial = index_seek(&cat, &params, &mut ts, "t", &range, Some(&residual));
+        let mut tp = CostTracker::new();
+        let opts = ExecOptions::with_threads(4).with_morsel_size(10);
+        let par = index_seek_par(&cat, &params, &mut tp, "t", &range, Some(&residual), &opts);
+        assert_eq!(par.rows, serial.rows);
+        assert_eq!(tp, ts);
+
+        let ranges = vec![
+            IndexRange::between("x", Value::Int(0), Value::Int(499)),
+            IndexRange::eq("y", Value::Int(7)),
+        ];
+        let mut ts = CostTracker::new();
+        let serial = index_intersection(&cat, &params, &mut ts, "t", &ranges, None);
+        let mut tp = CostTracker::new();
+        let par = index_intersection_par(&cat, &params, &mut tp, "t", &ranges, None, &opts);
+        assert_eq!(par.rows, serial.rows);
+        assert_eq!(tp, ts);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Oracle test for [`rqo_expr::like_match`] against an independent
+//! implementation: the LIKE pattern is translated to the regex it denotes
+//! (`%` → `.*`, `_` → `.`, everything else literal) and matched with a
+//! textbook NFA state-set simulation, O(pattern · text) with no
+//! backtracking.  The production matcher is a two-pointer backtracker —
+//! a structurally different algorithm — so agreement on random inputs is
+//! strong evidence both are the LIKE semantics, not each other's bugs.
+
+use proptest::prelude::*;
+use rqo_expr::like::like_match;
+
+/// One element of the translated regex: a literal byte, `.` (any single
+/// byte), or `.*` (any run of bytes, possibly empty).
+#[derive(Clone, Copy, PartialEq)]
+enum Tok {
+    Literal(u8),
+    AnyByte,
+    AnyRun,
+}
+
+/// The regex translation of a LIKE pattern: `%` → `.*`, `_` → `.`,
+/// anything else matches itself.  LIKE has no escape syntax here, so the
+/// translation is char-by-char.
+fn translate(pattern: &str) -> Vec<Tok> {
+    pattern
+        .bytes()
+        .map(|b| match b {
+            b'%' => Tok::AnyRun,
+            b'_' => Tok::AnyByte,
+            lit => Tok::Literal(lit),
+        })
+        .collect()
+}
+
+/// Thompson-style NFA simulation over the translated pattern.  `states`
+/// holds the set of pattern positions reachable after consuming the text
+/// so far; `.*` adds an epsilon edge from position i to i+1.
+fn regex_match(tokens: &[Tok], text: &[u8]) -> bool {
+    let n = tokens.len();
+    // Epsilon closure from a position: skip over any prefix of `.*`s.
+    let close = |start: usize, states: &mut Vec<bool>| {
+        let mut i = start;
+        loop {
+            if i > n || states[i] {
+                break;
+            }
+            states[i] = true;
+            if i < n && tokens[i] == Tok::AnyRun {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    };
+
+    let mut states = vec![false; n + 1];
+    close(0, &mut states);
+    for &byte in text {
+        let mut next = vec![false; n + 1];
+        for i in 0..n {
+            if !states[i] {
+                continue;
+            }
+            match tokens[i] {
+                Tok::Literal(lit) if lit == byte => close(i + 1, &mut next),
+                Tok::AnyByte => close(i + 1, &mut next),
+                // `.*` consumes the byte and stays put.
+                Tok::AnyRun => close(i, &mut next),
+                _ => {}
+            }
+        }
+        states = next;
+    }
+    states[n]
+}
+
+fn like_oracle(pattern: &str, text: &str) -> bool {
+    regex_match(&translate(pattern), text.as_bytes())
+}
+
+/// Patterns over a tiny alphabet plus both wildcards: small domains make
+/// collisions (and therefore interesting matches) common.
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![Just('%'), Just('%'), Just('_'), prop::char::range('a', 'c'),],
+        0..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::char::range('a', 'c'), 0..16)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn like_match_agrees_with_regex_oracle(
+        pattern in pattern_strategy(),
+        text in text_strategy(),
+    ) {
+        prop_assert_eq!(
+            like_match(&pattern, &text),
+            like_oracle(&pattern, &text),
+            "pattern {:?} text {:?}",
+            pattern,
+            text
+        );
+    }
+
+    /// Adversarial shape for the backtracker: many `%`s separating runs
+    /// that overlap each other, e.g. `%aa%aab%` against `aaab…`.
+    #[test]
+    fn multi_percent_backtracking_agrees(
+        runs in prop::collection::vec(
+            prop::collection::vec(prop::char::range('a', 'b'), 0..4),
+            1..5,
+        ),
+        text in prop::collection::vec(prop::char::range('a', 'b'), 0..20),
+    ) {
+        let pattern: String = runs
+            .iter()
+            .map(|r| r.iter().collect::<String>())
+            .collect::<Vec<_>>()
+            .join("%");
+        let text: String = text.into_iter().collect();
+        prop_assert_eq!(
+            like_match(&pattern, &text),
+            like_oracle(&pattern, &text),
+            "pattern {:?} text {:?}",
+            pattern,
+            text
+        );
+    }
+}
+
+#[test]
+fn multi_percent_backtracking_pinned_cases() {
+    // Greedy matching without backtracking fails these: the first `%`
+    // must *not* absorb as much as possible.
+    for (pattern, text, want) in [
+        ("%ab%ab", "abab", true),
+        ("%aab", "aaab", true),
+        ("%aab%b", "aabb", true),
+        ("%aab%c", "aabb", false),
+        ("a%a%a", "aaa", true),
+        ("a%a%a", "aa", false),
+        ("%a%b%a%", "xaybza", true),
+        ("%ba%ba%", "bababa", true),
+        ("%bab%bab", "babab", false),
+    ] {
+        assert_eq!(like_match(pattern, text), want, "like({pattern}, {text})");
+        assert_eq!(
+            like_oracle(pattern, text),
+            want,
+            "oracle({pattern}, {text})"
+        );
+    }
+}
+
+#[test]
+fn underscore_is_byte_oriented_on_non_ascii() {
+    // Documented semantics: `_` matches exactly one *byte*.  'é' encodes
+    // as two bytes in UTF-8, so it takes two `_`s — this is the ASCII
+    // fast path trade-off, and the oracle (also byte-oriented) agrees.
+    assert!(!like_match("_", "é"));
+    assert!(like_match("__", "é"));
+    assert!(!like_oracle("_", "é"));
+    assert!(like_oracle("__", "é"));
+
+    // `%` is byte-run based and therefore still correct on any UTF-8.
+    assert!(like_match("caf%", "café"));
+    assert!(like_match("%é", "café"));
+    assert!(like_oracle("%é", "café"));
+}

@@ -142,6 +142,17 @@ impl CostTracker {
         self.hash_probes += other.hash_probes;
     }
 
+    /// Sums any number of trackers (e.g. per-worker trackers at a
+    /// parallel barrier).  Counter addition is commutative, so the merged
+    /// totals do not depend on the order workers finished in.
+    pub fn merged<'a>(trackers: impl IntoIterator<Item = &'a CostTracker>) -> CostTracker {
+        let mut total = CostTracker::new();
+        for t in trackers {
+            total.absorb(t);
+        }
+        total
+    }
+
     /// Total simulated milliseconds under the given parameters.
     pub fn millis(&self, p: &CostParams) -> f64 {
         self.seq_pages as f64 * p.seq_page_ms
@@ -154,6 +165,27 @@ impl CostTracker {
     /// Total simulated seconds under the given parameters.
     pub fn seconds(&self, p: &CostParams) -> f64 {
         self.millis(p) / 1000.0
+    }
+}
+
+impl std::ops::AddAssign for CostTracker {
+    fn add_assign(&mut self, rhs: Self) {
+        self.absorb(&rhs);
+    }
+}
+
+impl std::ops::Add for CostTracker {
+    type Output = CostTracker;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self.absorb(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for CostTracker {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(CostTracker::new(), |acc, t| acc + t)
     }
 }
 
@@ -240,6 +272,34 @@ mod tests {
         assert!(disk < 0.0025, "disk crossover {disk}");
         assert!(ssd > 0.015, "ssd crossover {ssd}");
         assert!(ssd > 5.0 * disk);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mk = |s, r, c, hb, hp| {
+            let mut t = CostTracker::new();
+            t.charge_seq_pages(s);
+            t.charge_random_ios(r);
+            t.charge_cpu_ops(c);
+            t.charge_hash_builds(hb);
+            t.charge_hash_probes(hp);
+            t
+        };
+        let parts = [mk(1, 2, 3, 4, 5), mk(10, 0, 7, 0, 1), mk(0, 9, 0, 2, 0)];
+        let forward = CostTracker::merged(&parts);
+        let backward = CostTracker::merged(parts.iter().rev());
+        assert_eq!(forward, backward);
+        assert_eq!(forward, parts.iter().copied().sum());
+        assert_eq!(forward, parts[0] + parts[1] + parts[2]);
+        let mut acc = parts[0];
+        acc += parts[1];
+        acc += parts[2];
+        assert_eq!(acc, forward);
+        assert_eq!(forward.seq_pages, 11);
+        assert_eq!(forward.random_ios, 11);
+        assert_eq!(forward.cpu_ops, 10);
+        assert_eq!(forward.hash_builds, 6);
+        assert_eq!(forward.hash_probes, 6);
     }
 
     #[test]

@@ -23,6 +23,7 @@ struct Args {
     scale: f64,
     fact_rows: usize,
     seed: u64,
+    threads: usize,
 }
 
 impl Args {
@@ -36,12 +37,13 @@ impl Args {
             scale: 0.01,
             fact_rows: 500_000,
             seed: 7,
+            threads: 1,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         if argv.is_empty() {
             eprintln!(
                 "usage: rqo_demo <exp1|exp2|exp3> [--offset N] [--window N] [--level N] \
-                 [--threshold PCT] [--scale F] [--fact-rows N] [--seed N]"
+                 [--threshold PCT] [--scale F] [--fact-rows N] [--seed N] [--threads N]"
             );
             std::process::exit(2);
         }
@@ -60,6 +62,7 @@ impl Args {
                 "--scale" => args.scale = value.parse().expect("--scale"),
                 "--fact-rows" => args.fact_rows = value.parse().expect("--fact-rows"),
                 "--seed" => args.seed = value.parse().expect("--seed"),
+                "--threads" => args.threads = value.parse().expect("--threads"),
                 other => panic!("unknown flag {other:?}"),
             }
             i += 2;
@@ -138,10 +141,14 @@ fn main() {
         500,
         args.seed,
     )
-    .with_threshold(threshold);
+    .with_threshold(threshold)
+    .with_exec_options(ExecOptions::with_threads(args.threads));
 
     let outcome = db.run(&query);
-    println!("scenario: {}  (T = {}%)", args.scenario, args.threshold_pct);
+    println!(
+        "scenario: {}  (T = {}%, threads = {})",
+        args.scenario, args.threshold_pct, args.threads
+    );
     println!("\nrobust plan:\n{}", outcome.plan.explain());
     print!("result: ");
     for (c, v) in outcome.columns.iter().zip(&outcome.rows[0]) {
@@ -152,8 +159,12 @@ fn main() {
         outcome.simulated_seconds, outcome.estimated_seconds
     );
 
-    let (_, baseline_cost) =
-        robust_qo::exec::execute(&baseline_plan.plan, db.catalog(), &CostParams::default());
+    let (_, baseline_cost) = robust_qo::exec::execute_with(
+        &baseline_plan.plan,
+        db.catalog(),
+        &CostParams::default(),
+        &ExecOptions::with_threads(args.threads),
+    );
     println!(
         "\nhistogram baseline would pick: {}  ({:.4}s)",
         baseline_plan.shape(),

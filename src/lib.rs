@@ -72,7 +72,7 @@ pub mod prelude {
         exp1_lineitem_predicate, exp2_part_predicate, exp3_dim_predicate, true_selectivity,
     };
     pub use rqo_datagen::{StarConfig, StarData, TpchConfig, TpchData};
-    pub use rqo_exec::{AggExpr, PhysicalPlan};
+    pub use rqo_exec::{AggExpr, ExecOptions, PhysicalPlan};
     pub use rqo_expr::Expr;
     pub use rqo_optimizer::{Optimizer, PlannedQuery, Query};
     pub use rqo_stats::SynopsisRepository;
@@ -84,7 +84,7 @@ pub mod prelude {
 use std::sync::Arc;
 
 use rqo_core::{ConfidenceThreshold, EstimatorConfig, RobustEstimator, RobustnessLevel};
-use rqo_exec::{Batch, PhysicalPlan};
+use rqo_exec::{Batch, ExecOptions, PhysicalPlan};
 use rqo_optimizer::{Optimizer, Query};
 use rqo_stats::SynopsisRepository;
 use rqo_storage::{Catalog, CostParams, Value};
@@ -118,6 +118,7 @@ pub struct RobustDb {
     threshold: ConfidenceThreshold,
     sample_size: usize,
     seed: u64,
+    exec_options: ExecOptions,
 }
 
 impl RobustDb {
@@ -144,7 +145,16 @@ impl RobustDb {
             threshold: RobustnessLevel::Moderate.threshold(),
             sample_size,
             seed,
+            exec_options: ExecOptions::default(),
         }
+    }
+
+    /// Sets the executor's parallelism knobs (worker threads, morsel
+    /// size).  Results and simulated costs are identical for every
+    /// setting — only wall-clock time changes.
+    pub fn with_exec_options(mut self, exec_options: ExecOptions) -> Self {
+        self.exec_options = exec_options;
+        self
     }
 
     /// Sets the system-wide robustness preset (§6.2.5): conservative,
@@ -196,7 +206,12 @@ impl RobustDb {
     /// cost.
     pub fn run(&self, query: &Query) -> QueryOutcome {
         let planned = self.optimizer().optimize(query);
-        let (batch, cost) = rqo_exec::execute(&planned.plan, &self.catalog, &self.params);
+        let (batch, cost) = rqo_exec::execute_with(
+            &planned.plan,
+            &self.catalog,
+            &self.params,
+            &self.exec_options,
+        );
         let Batch { schema, rows } = batch;
         QueryOutcome {
             plan: planned.plan,
@@ -239,6 +254,19 @@ mod tests {
         ) * db.catalog().table("lineitem").unwrap().num_rows() as f64)
             .round() as i64;
         assert_eq!(outcome.rows[0][1].as_int(), truth);
+    }
+
+    #[test]
+    fn parallel_facade_matches_serial() {
+        let db = db();
+        let q = Query::over(&["lineitem"])
+            .filter("lineitem", exp1_lineitem_predicate(60))
+            .aggregate(AggExpr::count_star("n"));
+        let serial = db.run(&q);
+        let parallel_db = db.with_exec_options(ExecOptions::with_threads(4));
+        let parallel = parallel_db.run(&q);
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.simulated_seconds, parallel.simulated_seconds);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Character strategies (`prop::char::range`).
+
+use rand::Rng as _;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform characters in the inclusive range `[lo, hi]`.
+///
+/// The range must not straddle the surrogate gap (the workspace only uses
+/// small ASCII ranges).
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range {lo:?}..={hi:?}");
+    assert!(
+        !((lo as u32) < 0xD800 && (hi as u32) > 0xDFFF),
+        "char range straddles the surrogate gap"
+    );
+    CharRange { lo, hi }
+}
+
+/// The strategy returned by [`range`].
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: char,
+    hi: char,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let code = rng.gen_range(self.lo as u32..=self.hi as u32);
+        char::from_u32(code).expect("validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_from_seed;
+
+    #[test]
+    fn chars_stay_in_range() {
+        let mut rng = rng_from_seed(2);
+        let strat = range('a', 'd');
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let c = strat.generate(&mut rng);
+            assert!(('a'..='d').contains(&c));
+            seen.insert(c);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

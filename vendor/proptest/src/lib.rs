@@ -1,0 +1,236 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build container cannot reach crates.io, so this crate reimplements
+//! the slice of proptest this workspace uses: the [`proptest!`] macro,
+//! range/tuple/`vec`/`char`/`Just`/`prop_oneof!`/`prop_map` strategies,
+//! and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.**  A failing case panics with the deterministic
+//!   per-case seed in the message; re-running reproduces it exactly.
+//! * **Deterministic schedule.**  Case seeds derive from the test's module
+//!   path, name, and case index, so runs are reproducible without a
+//!   persistence file.
+//! * Only the strategy combinators the workspace needs are provided.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+#[allow(clippy::module_inception)]
+pub mod char;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` module alias exposed by the prelude (mirrors upstream's
+/// `proptest::prelude::prop`).
+pub mod prop {
+    pub use crate::char;
+    pub use crate::collection;
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (a subset of upstream's):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     /// Docs and attributes pass through.
+///     #[test]
+///     fn my_property(x in 0i64..100, flag: bool) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            config = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = $cfg:expr; ) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            let mut __case: u64 = 0;
+            while __accepted < __config.cases {
+                let __seed = $crate::test_runner::derive_seed(
+                    module_path!(),
+                    stringify!($name),
+                    __case,
+                );
+                __case += 1;
+                let mut __rng = $crate::test_runner::rng_from_seed(__seed);
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $crate::__proptest_lets!((&mut __rng); $($params)*);
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::core::result::Result::Ok(()) => __accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected <= __config.cases * 16 + 1024,
+                            "proptest {}: too many rejected cases ({})",
+                            stringify!($name),
+                            __rejected,
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed (deterministic case seed {}):\n{}",
+                            stringify!($name),
+                            __seed,
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ config = $cfg; $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_lets {
+    (($rng:expr); ) => {};
+    (($rng:expr); $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    (($rng:expr); $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_lets!(($rng); $($rest)*);
+    };
+    (($rng:expr); mut $name:ident in $strat:expr) => {
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    (($rng:expr); mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_lets!(($rng); $($rest)*);
+    };
+    (($rng:expr); $name:ident : $ty:ty) => {
+        let $name = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            $rng,
+        );
+    };
+    (($rng:expr); $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            $rng,
+        );
+        $crate::__proptest_lets!(($rng); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), __l, __r, format!($($fmt)+),
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+            stringify!($left), stringify!($right), __l, format!($($fmt)+),
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,159 @@
+//! The [`Strategy`] trait and core combinators.
+
+use rand::Rng as _;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is just a
+/// pure generator driven by the deterministic per-case RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` expansion).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Builds a union; panics when empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+impl<T: rand::SampleUniform + Clone + PartialOrd> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform + Clone + PartialOrd> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_from_seed;
+
+    #[test]
+    fn ranges_tuples_map_union() {
+        let mut rng = rng_from_seed(11);
+        for _ in 0..500 {
+            let x = (0i64..10).generate(&mut rng);
+            assert!((0..10).contains(&x));
+            let (a, b) = ((0i64..5), (10u32..=12)).generate(&mut rng);
+            assert!((0..5).contains(&a) && (10..=12).contains(&b));
+            let s = (0i64..3).prop_map(|v| v * 2).generate(&mut rng);
+            assert!([0, 2, 4].contains(&s));
+            let u = crate::prop_oneof![Just('x'), Just('y')].generate(&mut rng);
+            assert!(u == 'x' || u == 'y');
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the small slice of `rand` it actually uses: the
+//! [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`), the
+//! [`SeedableRng::seed_from_u64`] constructor, and a deterministic
+//! [`rngs::StdRng`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64.  Streams are
+//! deterministic across runs and platforms but are **not** the same
+//! streams upstream `rand`'s `StdRng` (ChaCha12) produces; everything in
+//! this repository treats seeds as opaque reproducibility handles, so only
+//! stability within the repo matters.
+
+#![warn(missing_docs)]
+
+/// Low-level source of randomness: 64 random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from the generator's raw output
+/// (`rng.gen::<T>()`).
+pub trait SampleStandard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with uniform range sampling (`rng.gen_range(lo..hi)`).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Unbiased integer draw from `[0, width)` via 128-bit widening multiply.
+fn sample_width<R: RngCore + ?Sized>(width: u64, rng: &mut R) -> u64 {
+    debug_assert!(width > 0);
+    // Lemire's multiply-shift with one rejection round for exactness.
+    let threshold = width.wrapping_neg() % width;
+    loop {
+        let m = rng.next_u64() as u128 * width as u128;
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                    let width = (hi as i128 - lo as i128) as u128 + 1;
+                    if width > u64::MAX as u128 {
+                        // Full-width range: raw bits are already uniform.
+                        return rng.next_u64() as i128 as Self;
+                    }
+                    lo.wrapping_add(sample_width(width as u64, rng) as Self)
+                } else {
+                    assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                    let width = (hi as i128 - lo as i128) as u64;
+                    lo.wrapping_add(sample_width(width, rng) as Self)
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+impl SampleUniform for usize {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        u64::sample_uniform(lo as u64, hi as u64, inclusive, rng) as usize
+    }
+}
+
+impl SampleUniform for isize {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        i64::sample_uniform(lo as i64, hi as i64, inclusive, rng) as isize
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            lo < hi || (lo == hi && _inclusive),
+            "gen_range: empty range"
+        );
+        let u = f64::sample_standard(rng);
+        let v = lo + u * (hi - lo);
+        // Guard against rounding up to the exclusive bound.
+        if v >= hi {
+            hi - (hi - lo) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// User-facing extension methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw of a whole type's standard distribution
+    /// (`f64`/`f32` in `[0, 1)`, raw bits for integers).
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from a half-open or inclusive range.
+    fn gen_range<T: SampleUniform, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p}");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generator constructors.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the seed, as xoshiro's authors
+            // recommend.
+            let mut x = state;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-20i64..20);
+            assert!((-20..20).contains(&x));
+            let y = rng.gen_range(1u32..=5);
+            assert!((1..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_draws_cover_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn unsized_rng_supported() {
+        fn takes_dynish<R: super::Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(f64::MIN_POSITIVE..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = takes_dynish(&mut rng);
+        assert!(v > 0.0 && v < 1.0);
+    }
+}

@@ -78,6 +78,9 @@ pub enum EstimateSource {
     Magic,
     /// Brute-force exact evaluation.
     Exact,
+    /// Observed selectivity recorded by a previous execution's
+    /// `EXPLAIN ANALYZE` in a [`FeedbackStore`].
+    Feedback,
 }
 
 /// The result of cardinality estimation.
@@ -123,12 +126,17 @@ pub trait CardinalityEstimator: Send + Sync {
 pub struct RobustEstimator {
     repo: Arc<SynopsisRepository>,
     config: EstimatorConfig,
+    feedback: Option<Arc<crate::feedback::FeedbackStore>>,
 }
 
 impl RobustEstimator {
     /// Creates the estimator from a synopsis repository and configuration.
     pub fn new(repo: Arc<SynopsisRepository>, config: EstimatorConfig) -> Self {
-        Self { repo, config }
+        Self {
+            repo,
+            config,
+            feedback: None,
+        }
     }
 
     /// The active configuration.
@@ -137,12 +145,22 @@ impl RobustEstimator {
     }
 
     /// This estimator with a different configuration (e.g. a per-query
-    /// threshold hint) sharing the same synopses.
+    /// threshold hint) sharing the same synopses and feedback store.
     pub fn with_config(&self, config: EstimatorConfig) -> Self {
         Self {
             repo: Arc::clone(&self.repo),
             config,
+            feedback: self.feedback.clone(),
         }
+    }
+
+    /// Attaches an execution-feedback store.  Recorded observations take
+    /// precedence over synopsis evaluation: once `EXPLAIN ANALYZE` has
+    /// seen a predicate's true selectivity there is no residual
+    /// uncertainty for the posterior machinery to model.
+    pub fn with_feedback(mut self, store: Arc<crate::feedback::FeedbackStore>) -> Self {
+        self.feedback = Some(store);
+        self
     }
 
     /// Collapses a posterior according to the configured strategy.
@@ -197,6 +215,15 @@ impl CardinalityEstimator for RobustEstimator {
     }
 
     fn estimate(&self, request: &EstimationRequest<'_>) -> SelectivityEstimate {
+        if let Some(store) = &self.feedback {
+            if let Some(selectivity) = store.lookup(&request.tables, &request.predicates) {
+                return SelectivityEstimate {
+                    selectivity,
+                    posterior: None,
+                    source: EstimateSource::Feedback,
+                };
+            }
+        }
         match self.repo.for_expression(request.tables.iter().copied()) {
             Some(syn) if syn.sample_size() > 0 => {
                 let (k, n) = syn.evaluate(&request.predicates);
@@ -576,6 +603,30 @@ mod tests {
         );
         assert!((r.selectivity - 0.1).abs() < 0.05, "sel {}", r.selectivity);
         assert!(r.posterior.is_some());
+    }
+
+    #[test]
+    fn feedback_takes_precedence_over_synopsis() {
+        let cat = catalog();
+        let pred = Expr::col("p_x").lt(Expr::lit(100i64));
+        let req = EstimationRequest::single("part", &pred);
+
+        let store = Arc::new(crate::feedback::FeedbackStore::new());
+        let est = robust(&cat, 0.5, 500, 1).with_feedback(Arc::clone(&store));
+
+        // Empty store: behaves exactly like the plain robust estimator.
+        let before = est.estimate(&req);
+        assert!(matches!(before.source, EstimateSource::JoinSynopsis { .. }));
+
+        store.record(&["part"], &[("part", &pred)], 0.123);
+        let after = est.estimate(&req);
+        assert_eq!(after.source, EstimateSource::Feedback);
+        assert_eq!(after.selectivity, 0.123);
+        assert!(after.posterior.is_none());
+
+        // The hinted (per-query threshold) variant keeps the store.
+        let hinted = est.hinted(ConfidenceThreshold::new(0.95)).unwrap();
+        assert_eq!(hinted.estimate(&req).source, EstimateSource::Feedback);
     }
 
     #[test]

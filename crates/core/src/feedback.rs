@@ -1,0 +1,148 @@
+//! Cardinality feedback from executed plans.
+//!
+//! `EXPLAIN ANALYZE` observes the *actual* selectivity of every annotated
+//! operator — the ground truth the estimator was trying to predict.  The
+//! [`FeedbackStore`] records those observations keyed by the canonical
+//! `(tables, predicates)` form of the estimation request, so that the next
+//! optimization of the same (or an overlapping) query replaces its
+//! sampling-based estimate with the observed value.  This is the classic
+//! execution-feedback loop (LEO-style) layered on top of the paper's
+//! robust estimator: the posterior quantifies uncertainty *before* the
+//! first run, and feedback collapses it to the truth *after*.
+//!
+//! The key format is deliberately identical to the canonical form used by
+//! the optimizer's per-query memo: tables sorted, predicates rendered as
+//! sorted `"table:expr"` strings.  An observation recorded for a plan
+//! node therefore hits exactly when the optimizer asks the estimator the
+//! same question again, regardless of enumeration order.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use rqo_expr::Expr;
+
+/// Thread-safe map from canonical estimation-request keys to observed
+/// selectivities in `[0, 1]`.
+///
+/// Interior mutability (a [`Mutex`]) lets a single store be shared via
+/// `Arc` between the executing facade (which records) and estimators
+/// (which look up) without threading `&mut` through the optimizer.
+#[derive(Debug, Default)]
+pub struct FeedbackStore {
+    observations: Mutex<HashMap<String, f64>>,
+}
+
+impl FeedbackStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical key for an estimation request: tables sorted, predicates
+    /// rendered as sorted `"table:expr"` strings.  Matches the optimizer's
+    /// selectivity-memo key so observations align with planner questions.
+    pub fn canonical_key(tables: &[&str], predicates: &[(&str, &Expr)]) -> String {
+        let mut key_tables: Vec<&str> = tables.to_vec();
+        key_tables.sort_unstable();
+        let mut key_preds: Vec<String> =
+            predicates.iter().map(|(t, e)| format!("{t}:{e}")).collect();
+        key_preds.sort_unstable();
+        format!("{key_tables:?}|{key_preds:?}")
+    }
+
+    /// Records an observed selectivity (clamped to `[0, 1]`), overwriting
+    /// any previous observation for the same request.
+    pub fn record(&self, tables: &[&str], predicates: &[(&str, &Expr)], selectivity: f64) {
+        let key = Self::canonical_key(tables, predicates);
+        self.observations
+            .lock()
+            .expect("feedback store lock poisoned")
+            .insert(key, selectivity.clamp(0.0, 1.0));
+    }
+
+    /// Returns the observed selectivity for this request, if any.
+    pub fn lookup(&self, tables: &[&str], predicates: &[(&str, &Expr)]) -> Option<f64> {
+        let key = Self::canonical_key(tables, predicates);
+        self.observations
+            .lock()
+            .expect("feedback store lock poisoned")
+            .get(&key)
+            .copied()
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.observations
+            .lock()
+            .expect("feedback store lock poisoned")
+            .len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all recorded observations.
+    pub fn clear(&self) {
+        self.observations
+            .lock()
+            .expect("feedback store lock poisoned")
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(column: &str, value: i64) -> Expr {
+        Expr::col(column).lt(Expr::lit(value))
+    }
+
+    #[test]
+    fn key_is_invariant_to_request_order() {
+        let a = pred("a", 10);
+        let b = pred("b", 20);
+        let fwd = FeedbackStore::canonical_key(&["t", "u"], &[("t", &a), ("u", &b)]);
+        let rev = FeedbackStore::canonical_key(&["u", "t"], &[("u", &b), ("t", &a)]);
+        assert_eq!(fwd, rev);
+
+        let other = FeedbackStore::canonical_key(&["t", "u"], &[("t", &b), ("u", &a)]);
+        assert_ne!(
+            fwd, other,
+            "swapping which table a predicate applies to changes the key"
+        );
+    }
+
+    #[test]
+    fn record_then_lookup_round_trips() {
+        let store = FeedbackStore::new();
+        let p = pred("k", 5);
+        assert!(store.is_empty());
+        assert_eq!(store.lookup(&["t"], &[("t", &p)]), None);
+
+        store.record(&["t"], &[("t", &p)], 0.25);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.lookup(&["t"], &[("t", &p)]), Some(0.25));
+
+        // Re-recording overwrites; out-of-range observations are clamped.
+        store.record(&["t"], &[("t", &p)], 1.5);
+        assert_eq!(store.lookup(&["t"], &[("t", &p)]), Some(1.0));
+        assert_eq!(store.len(), 1);
+
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn distinct_predicates_get_distinct_entries() {
+        let store = FeedbackStore::new();
+        let p5 = pred("k", 5);
+        let p9 = pred("k", 9);
+        store.record(&["t"], &[("t", &p5)], 0.1);
+        store.record(&["t"], &[("t", &p9)], 0.9);
+        assert_eq!(store.lookup(&["t"], &[("t", &p5)]), Some(0.1));
+        assert_eq!(store.lookup(&["t"], &[("t", &p9)]), Some(0.9));
+    }
+}

@@ -37,6 +37,7 @@
 pub mod confidence;
 pub mod config;
 pub mod estimator;
+pub mod feedback;
 pub mod groupby;
 pub mod magic;
 pub mod onthefly;
@@ -49,6 +50,7 @@ pub use estimator::{
     CardinalityEstimator, DistributionalHistogramEstimator, EstimateSource, EstimationRequest,
     HistogramEstimator, OracleEstimator, RobustEstimator, SelectivityEstimate,
 };
+pub use feedback::FeedbackStore;
 pub use magic::MagicPolicy;
 pub use onthefly::OnTheFlyEstimator;
 pub use posterior::SelectivityPosterior;

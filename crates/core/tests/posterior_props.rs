@@ -1,0 +1,107 @@
+//! Property tests pinning the Beta-posterior CDF inversion.
+//!
+//! The estimator's entire robustness story routes through one function:
+//! [`SelectivityPosterior::at_threshold`], the posterior quantile at the
+//! confidence threshold `T`.  These properties pin its contract:
+//!
+//! * **monotone in `T`** — a higher confidence threshold can never
+//!   produce a smaller selectivity estimate (the basis of the paper's
+//!   monotone plan-conservatism claim);
+//! * **brackets the sample proportion** — for interior observations
+//!   (`0 < k < n`) the 5% and 95% quantiles straddle `k/n`;
+//! * **inverts the CDF** — `cdf(at_threshold(T)) == T`;
+//! * **agrees with the binomial** — under the uniform prior the
+//!   posterior CDF equals the classic binomial tail identity
+//!   `P(Beta(k+1, n−k+1) ≤ p) = 1 − P(Bin(n+1, p) ≤ k)`, cross-checking
+//!   `rqo-core`'s posterior against `rqo-math`'s independent binomial
+//!   summation.
+
+use proptest::prelude::*;
+use rqo_core::{ConfidenceThreshold, Prior, SelectivityPosterior};
+use rqo_math::Binomial;
+
+fn posterior(k: usize, n: usize, uniform: bool) -> SelectivityPosterior {
+    let prior = if uniform {
+        Prior::Uniform
+    } else {
+        Prior::Jeffreys
+    };
+    SelectivityPosterior::from_observation(k, n, prior)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantile_is_monotone_in_threshold(
+        n in 1usize..400,
+        k_seed in 0usize..10_000,
+        t1 in 0.01f64..0.99,
+        t2 in 0.01f64..0.99,
+        uniform: bool,
+    ) {
+        let k = k_seed % (n + 1);
+        let (lo_t, hi_t) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let post = posterior(k, n, uniform);
+        let lo = post.at_threshold(ConfidenceThreshold::new(lo_t));
+        let hi = post.at_threshold(ConfidenceThreshold::new(hi_t));
+        prop_assert!(
+            lo <= hi + 1e-12,
+            "quantile not monotone: k={k} n={n} q({lo_t})={lo} > q({hi_t})={hi}"
+        );
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_sample_proportion(
+        n in 2usize..500,
+        k_seed in 0usize..10_000,
+        uniform: bool,
+    ) {
+        // Interior observations only: 0 < k < n.
+        let k = 1 + k_seed % (n - 1);
+        let post = posterior(k, n, uniform);
+        let p_hat = k as f64 / n as f64;
+        let lo = post.at_threshold(ConfidenceThreshold::new(0.05));
+        let hi = post.at_threshold(ConfidenceThreshold::new(0.95));
+        prop_assert!(
+            lo <= p_hat && p_hat <= hi,
+            "k={k} n={n}: [q(5%)={lo}, q(95%)={hi}] misses k/n={p_hat}"
+        );
+    }
+
+    #[test]
+    fn quantile_inverts_the_cdf(
+        n in 1usize..400,
+        k_seed in 0usize..10_000,
+        t in 0.01f64..0.99,
+        uniform: bool,
+    ) {
+        let k = k_seed % (n + 1);
+        let post = posterior(k, n, uniform);
+        let q = post.at_threshold(ConfidenceThreshold::new(t));
+        let round_trip = post.cdf(q);
+        prop_assert!(
+            (round_trip - t).abs() < 1e-6,
+            "cdf(quantile({t})) = {round_trip} for k={k} n={n}"
+        );
+    }
+
+    #[test]
+    fn uniform_posterior_cdf_matches_binomial_tail(
+        n in 1usize..200,
+        k_seed in 0usize..10_000,
+        p in 0.01f64..0.99,
+    ) {
+        let k = k_seed % (n + 1);
+        // Uniform prior ⇒ posterior is Beta(k+1, n−k+1), whose CDF at p
+        // is the probability that Bin(n+1, p) exceeds k — computed here
+        // by rqo-math's direct pmf summation, a fully independent path.
+        let direct = posterior(k, n, true).cdf(p);
+        let via_binomial = 1.0 - Binomial::new((n + 1) as u64, p).cdf(k as u64);
+        prop_assert!(
+            (direct - via_binomial).abs() < 1e-8,
+            "k={k} n={n} p={p}: beta cdf {direct} vs binomial tail {via_binomial}"
+        );
+    }
+}

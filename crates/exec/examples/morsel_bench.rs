@@ -7,12 +7,14 @@
 //! ```
 //!
 //! Prints per-thread-count mean runtimes for a predicated scan and a
-//! grouped aggregate, and asserts that rows and simulated cost stay
-//! bit-identical across every setting (the differential invariant).
+//! grouped aggregate, asserts that rows, simulated cost, and the
+//! per-operator metrics tree stay bit-identical across every setting
+//! (the differential invariant), and finishes with the EXPLAIN ANALYZE
+//! rendering of each plan.
 
 use std::time::Instant;
 
-use rqo_exec::{execute_with, AggExpr, ExecOptions, PhysicalPlan};
+use rqo_exec::{execute_analyze, execute_with, AggExpr, ExecOptions, PhysicalPlan};
 use rqo_expr::Expr;
 use rqo_storage::{Catalog, CostParams, DataType, Schema, TableBuilder, Value};
 
@@ -63,7 +65,8 @@ fn main() {
 
     const REPS: u32 = 5;
     for (name, plan) in [("scan+filter", &scan), ("scan+agg", &agg)] {
-        let baseline = execute_with(plan, &cat, &params, &ExecOptions::default());
+        let (base_batch, base_cost, base_metrics) =
+            execute_analyze(plan, &cat, &params, &ExecOptions::default());
         for &t in &threads {
             let opts = ExecOptions::with_threads(t);
             let start = Instant::now();
@@ -73,12 +76,15 @@ fn main() {
             }
             let mean = start.elapsed().as_secs_f64() / f64::from(REPS);
             let (batch, cost) = out.unwrap();
-            assert_eq!(batch.rows, baseline.0.rows, "rows diverged at {t} threads");
-            assert_eq!(cost, baseline.1, "cost diverged at {t} threads");
+            assert_eq!(batch.rows, base_batch.rows, "rows diverged at {t} threads");
+            assert_eq!(cost, base_cost, "cost diverged at {t} threads");
+            let (_, _, metrics) = execute_analyze(plan, &cat, &params, &opts);
+            assert_eq!(metrics, base_metrics, "metrics diverged at {t} threads");
             println!(
                 "{name:<12} rows={rows} threads={t} mean={:.1}ms",
                 mean * 1e3
             );
         }
+        println!("\n{name} EXPLAIN ANALYZE:\n{}", base_metrics.render());
     }
 }

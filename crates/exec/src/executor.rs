@@ -1,5 +1,7 @@
 //! Plan interpretation.
 
+use std::time::Instant;
+
 use rqo_storage::{Catalog, CostParams, CostTracker};
 
 use crate::agg::{hash_aggregate, hash_aggregate_par};
@@ -7,11 +9,10 @@ use crate::batch::Batch;
 use crate::join::{
     hash_join, hash_join_par, indexed_nl_join, indexed_nl_join_par, merge_join, star_semijoin,
 };
+use crate::metrics::OpMetrics;
 use crate::morsel::{run_morsels, ExecOptions};
 use crate::plan::PhysicalPlan;
-use crate::scan::{
-    index_intersection, index_intersection_par, index_seek, index_seek_par, seq_scan, seq_scan_par,
-};
+use crate::scan::{index_intersection_counted, index_seek_counted, seq_scan, seq_scan_par};
 
 /// Executes a physical plan against the catalog, returning the result and
 /// the full simulated cost of producing it.
@@ -41,9 +42,29 @@ pub fn execute_with(
     params: &CostParams,
     opts: &ExecOptions,
 ) -> (Batch, CostTracker) {
-    let mut tracker = CostTracker::new();
-    let batch = run(plan, catalog, params, &mut tracker, opts);
+    let (batch, tracker, _) = execute_analyze(plan, catalog, params, opts);
     (batch, tracker)
+}
+
+/// [`execute_with`] plus the per-operator [`OpMetrics`] tree — the
+/// `EXPLAIN ANALYZE` entry point.
+///
+/// The metrics tree mirrors the plan tree node for node (same labels as
+/// [`PhysicalPlan::explain`], children in execution order) and every
+/// deterministic field — rows in/out, morsel counts, peak hash entries,
+/// per-subtree cost deltas — is identical at any thread count: morsel
+/// counts come from input sizes, partial results merge in morsel index
+/// order, and only the informational `wall_ns` (excluded from equality
+/// and rendering) reflects the host's actual parallelism.
+pub fn execute_analyze(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+    opts: &ExecOptions,
+) -> (Batch, CostTracker, OpMetrics) {
+    let mut tracker = CostTracker::new();
+    let (batch, metrics) = run(plan, catalog, params, &mut tracker, opts);
+    (batch, tracker, metrics)
 }
 
 fn run(
@@ -52,59 +73,61 @@ fn run(
     params: &CostParams,
     tracker: &mut CostTracker,
     opts: &ExecOptions,
-) -> Batch {
+) -> (Batch, OpMetrics) {
+    let start = Instant::now();
+    let before = *tracker;
     let parallel = opts.is_parallel();
-    match plan {
+    // Each arm yields the output batch plus the metric ingredients that
+    // are only visible here: rows consumed, morsel count (computed from
+    // sizes, identical serial or parallel), peak hash entries, children.
+    let (batch, rows_in, morsels, peak_hash_entries, children) = match plan {
         PhysicalPlan::SeqScan { table, predicate } => {
-            if parallel {
+            let n = catalog.table(table).expect("table exists").num_rows();
+            let batch = if parallel {
                 seq_scan_par(catalog, params, tracker, table, predicate.as_ref(), opts)
             } else {
                 seq_scan(catalog, params, tracker, table, predicate.as_ref())
-            }
+            };
+            (batch, n as u64, opts.morsel_count(n), 0, vec![])
         }
         PhysicalPlan::IndexSeek {
             table,
             range,
             residual,
         } => {
-            if parallel {
-                index_seek_par(
-                    catalog,
-                    params,
-                    tracker,
-                    table,
-                    range,
-                    residual.as_ref(),
-                    opts,
-                )
-            } else {
-                index_seek(catalog, params, tracker, table, range, residual.as_ref())
-            }
+            let (batch, fetched) = index_seek_counted(
+                catalog,
+                params,
+                tracker,
+                table,
+                range,
+                residual.as_ref(),
+                parallel.then_some(opts),
+            );
+            (batch, fetched as u64, opts.morsel_count(fetched), 0, vec![])
         }
         PhysicalPlan::IndexIntersection {
             table,
             ranges,
             residual,
         } => {
-            if parallel {
-                index_intersection_par(
-                    catalog,
-                    params,
-                    tracker,
-                    table,
-                    ranges,
-                    residual.as_ref(),
-                    opts,
-                )
-            } else {
-                index_intersection(catalog, params, tracker, table, ranges, residual.as_ref())
-            }
+            let (batch, fetched) = index_intersection_counted(
+                catalog,
+                params,
+                tracker,
+                table,
+                ranges,
+                residual.as_ref(),
+                parallel.then_some(opts),
+            );
+            (batch, fetched as u64, opts.morsel_count(fetched), 0, vec![])
         }
         PhysicalPlan::Filter { input, predicate } => {
-            let batch = run(input, catalog, params, tracker, opts);
+            let (batch, child) = run(input, catalog, params, tracker, opts);
+            let n = batch.len();
             let bound = predicate.bind(&batch.schema).expect("filter binds");
-            tracker.charge_cpu_ops(batch.len() as u64);
-            if parallel {
+            tracker.charge_cpu_ops(n as u64);
+            let out = if parallel {
                 let parts = run_morsels(opts, batch.rows.len(), |morsel| -> Vec<_> {
                     batch.rows[morsel]
                         .iter()
@@ -120,17 +143,19 @@ fn run(
                     .filter(|row| rqo_expr::eval_bool(&bound, row))
                     .collect();
                 Batch::new(batch.schema, rows)
-            }
+            };
+            (out, n as u64, opts.morsel_count(n), 0, vec![child])
         }
         PhysicalPlan::Project { input, columns } => {
-            let batch = run(input, catalog, params, tracker, opts);
+            let (batch, child) = run(input, catalog, params, tracker, opts);
+            let n = batch.len();
             let ordinals: Vec<usize> = columns
                 .iter()
                 .map(|c| batch.schema.expect_index(c))
                 .collect();
-            tracker.charge_cpu_ops(batch.len() as u64);
+            tracker.charge_cpu_ops(n as u64);
             let schema = batch.schema.project(&ordinals);
-            if parallel {
+            let out = if parallel {
                 let parts = run_morsels(opts, batch.rows.len(), |morsel| -> Vec<_> {
                     batch.rows[morsel]
                         .iter()
@@ -145,7 +170,8 @@ fn run(
                     .map(|row| ordinals.iter().map(|&i| row[i].clone()).collect())
                     .collect();
                 Batch::new(schema, rows)
-            }
+            };
+            (out, n as u64, opts.morsel_count(n), 0, vec![child])
         }
         PhysicalPlan::HashJoin {
             build,
@@ -153,13 +179,21 @@ fn run(
             build_key,
             probe_key,
         } => {
-            let b = run(build, catalog, params, tracker, opts);
-            let p = run(probe, catalog, params, tracker, opts);
-            if parallel {
+            let (b, mb) = run(build, catalog, params, tracker, opts);
+            let (p, mp) = run(probe, catalog, params, tracker, opts);
+            let (build_len, probe_len) = (b.len(), p.len());
+            let out = if parallel {
                 hash_join_par(tracker, b, p, build_key, probe_key, opts)
             } else {
                 hash_join(tracker, b, p, build_key, probe_key)
-            }
+            };
+            (
+                out,
+                (build_len + probe_len) as u64,
+                opts.morsel_count(build_len) + opts.morsel_count(probe_len),
+                build_len as u64,
+                vec![mb, mp],
+            )
         }
         PhysicalPlan::MergeJoin {
             left,
@@ -167,9 +201,11 @@ fn run(
             left_key,
             right_key,
         } => {
-            let l = run(left, catalog, params, tracker, opts);
-            let r = run(right, catalog, params, tracker, opts);
-            merge_join(tracker, l, r, left_key, right_key)
+            let (l, ml) = run(left, catalog, params, tracker, opts);
+            let (r, mr) = run(right, catalog, params, tracker, opts);
+            let rows_in = (l.len() + r.len()) as u64;
+            let out = merge_join(tracker, l, r, left_key, right_key);
+            (out, rows_in, 0, 0, vec![ml, mr])
         }
         PhysicalPlan::IndexedNlJoin {
             outer,
@@ -177,8 +213,9 @@ fn run(
             inner_index_column,
             outer_key,
         } => {
-            let o = run(outer, catalog, params, tracker, opts);
-            if parallel {
+            let (o, mo) = run(outer, catalog, params, tracker, opts);
+            let outer_len = o.len();
+            let out = if parallel {
                 indexed_nl_join_par(
                     catalog,
                     params,
@@ -199,24 +236,54 @@ fn run(
                     inner_index_column,
                     outer_key,
                 )
-            }
+            };
+            (
+                out,
+                outer_len as u64,
+                opts.morsel_count(outer_len),
+                0,
+                vec![mo],
+            )
         }
         PhysicalPlan::StarSemiJoin { fact_table, legs } => {
-            star_semijoin(catalog, params, tracker, fact_table, legs)
+            let out = star_semijoin(catalog, params, tracker, fact_table, legs);
+            let rows_in = out.len() as u64;
+            (out, rows_in, 0, 0, vec![])
         }
         PhysicalPlan::HashAggregate {
             input,
             group_by,
             aggregates,
         } => {
-            let batch = run(input, catalog, params, tracker, opts);
-            if parallel {
+            let (batch, child) = run(input, catalog, params, tracker, opts);
+            let n = batch.len();
+            let out = if parallel {
                 hash_aggregate_par(tracker, batch, group_by, aggregates, opts)
             } else {
                 hash_aggregate(tracker, batch, group_by, aggregates)
-            }
+            };
+            // Groups resident in the hash table; the scalar aggregate over
+            // empty input synthesizes its identity row without one.
+            let peak = if n == 0 && group_by.is_empty() {
+                0
+            } else {
+                out.len() as u64
+            };
+            (out, n as u64, opts.morsel_count(n), peak, vec![child])
         }
-    }
+    };
+    let metrics = OpMetrics {
+        label: plan.node_label(),
+        rows_in,
+        rows_out: batch.len() as u64,
+        est_rows: None,
+        morsels,
+        peak_hash_entries,
+        wall_ns: start.elapsed().as_nanos(),
+        cost: tracker.diff(&before),
+        children,
+    };
+    (batch, metrics)
 }
 
 #[cfg(test)]
@@ -414,5 +481,104 @@ mod tests {
         for row in &batch.rows {
             assert_eq!(row[1], Value::Int(20)); // 10 orders × 2 items
         }
+    }
+
+    #[test]
+    fn metrics_tree_mirrors_plan_and_counts_rows() {
+        let cat = catalog();
+        let params = CostParams::default();
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::HashJoin {
+                build: Box::new(PhysicalPlan::SeqScan {
+                    table: "orders".into(),
+                    predicate: Some(Expr::col("o_cust").eq(Expr::lit(0i64))),
+                }),
+                probe: Box::new(PhysicalPlan::SeqScan {
+                    table: "items".into(),
+                    predicate: None,
+                }),
+                build_key: "o_id".into(),
+                probe_key: "i_order".into(),
+            }),
+            group_by: vec![],
+            aggregates: vec![AggExpr::sum("i_price", "total")],
+        };
+        let (batch, cost, metrics) = execute_analyze(&plan, &cat, &params, &ExecOptions::default());
+        assert_eq!(batch.len(), 1);
+        assert_eq!(metrics.node_count(), plan.node_count());
+        // Labels line up with explain() node for node.
+        let labels: Vec<String> = metrics.preorder().iter().map(|m| m.label.clone()).collect();
+        let explain_labels: Vec<String> = plan
+            .explain()
+            .lines()
+            .map(|l| l.trim_start().to_string())
+            .collect();
+        assert_eq!(labels, explain_labels);
+        // Row accounting: aggregate consumed the join's output.
+        assert_eq!(metrics.label, plan.node_label());
+        assert_eq!(metrics.rows_out, 1);
+        let join = &metrics.children[0];
+        assert_eq!(join.rows_out, 20);
+        assert_eq!(metrics.rows_in, join.rows_out);
+        assert_eq!(join.children[0].rows_out, 10); // orders with cust 0
+        assert_eq!(join.children[1].rows_out, 100); // full items scan
+        assert_eq!(join.rows_in, 110);
+        assert_eq!(join.peak_hash_entries, 10); // build-side rows
+        assert_eq!(metrics.peak_hash_entries, 1); // one scalar group
+                                                  // The root's inclusive cost delta is the whole execution's cost.
+        assert_eq!(metrics.cost, cost);
+        // Children's inclusive costs never exceed the parent's.
+        let child_sum: CostTracker = join.children.iter().map(|c| c.cost).sum();
+        assert_eq!(join.cost.diff(&child_sum), join.self_cost());
+        assert!(join.self_cost().hash_builds > 0);
+    }
+
+    #[test]
+    fn metrics_identical_across_thread_counts() {
+        let cat = catalog();
+        let params = CostParams::default();
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::HashJoin {
+                    build: Box::new(PhysicalPlan::SeqScan {
+                        table: "orders".into(),
+                        predicate: None,
+                    }),
+                    probe: Box::new(PhysicalPlan::IndexSeek {
+                        table: "items".into(),
+                        range: IndexRange::between(
+                            "i_price",
+                            Value::Float(10.0),
+                            Value::Float(89.0),
+                        ),
+                        residual: None,
+                    }),
+                    build_key: "o_id".into(),
+                    probe_key: "i_order".into(),
+                }),
+                predicate: Expr::col("i_price").lt(Expr::lit(80.0)),
+            }),
+            group_by: vec!["o_cust".into()],
+            aggregates: vec![AggExpr::count_star("n")],
+        };
+        let baseline = execute_analyze(
+            &plan,
+            &cat,
+            &params,
+            &ExecOptions::serial().with_morsel_size(16),
+        )
+        .2;
+        for threads in [2, 8] {
+            let opts = ExecOptions::with_threads(threads).with_morsel_size(16);
+            let (_, _, metrics) = execute_analyze(&plan, &cat, &params, &opts);
+            assert_eq!(metrics, baseline, "threads={threads}");
+        }
+        // Rendered output is byte-identical too (wall time is excluded).
+        let rendered = baseline.render();
+        let opts = ExecOptions::with_threads(8).with_morsel_size(16);
+        assert_eq!(
+            execute_analyze(&plan, &cat, &params, &opts).2.render(),
+            rendered
+        );
     }
 }

@@ -36,11 +36,13 @@ pub mod agg;
 pub mod batch;
 pub mod executor;
 pub mod join;
+pub mod metrics;
 pub mod morsel;
 pub mod plan;
 pub mod scan;
 
 pub use batch::Batch;
-pub use executor::{execute, execute_with};
+pub use executor::{execute, execute_analyze, execute_with};
+pub use metrics::OpMetrics;
 pub use morsel::ExecOptions;
 pub use plan::{AggExpr, AggFunc, IndexRange, PhysicalPlan, SemiJoinLeg};

@@ -74,6 +74,15 @@ impl ExecOptions {
     pub fn is_parallel(&self) -> bool {
         self.threads > 1
     }
+
+    /// Number of morsels an input of `n` rows splits into under these
+    /// options — the same arithmetic [`run_morsels`] uses, so the count
+    /// depends only on sizes, never on the thread count or scheduling.
+    /// `EXPLAIN ANALYZE` reports this for serial execution too (the count
+    /// the morsel scheduler *would* use).
+    pub fn morsel_count(&self, n: usize) -> u64 {
+        n.div_ceil(self.morsel_size.max(1)) as u64
+    }
 }
 
 /// Splits `0..n` into morsels and applies `work` to each, returning the
@@ -182,5 +191,14 @@ mod tests {
     fn zero_morsel_size_is_clamped() {
         let parts = run_morsels(&opts(2, 0), 3, |r| r.len());
         assert_eq!(parts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn morsel_count_matches_run_morsels() {
+        for (threads, size, n) in [(1, 5, 57), (8, 5, 57), (2, 0, 3), (4, 10, 0), (1, 7, 7)] {
+            let o = opts(threads, size);
+            let parts = run_morsels(&o, n, |r| r.len());
+            assert_eq!(o.morsel_count(n), parts.len() as u64, "size={size} n={n}");
+        }
     }
 }

@@ -242,79 +242,81 @@ impl PhysicalPlan {
     fn explain_into(&self, out: &mut String, depth: usize) {
         use std::fmt::Write;
         let pad = "  ".repeat(depth);
+        let _ = writeln!(out, "{pad}{}", self.node_label());
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
+        }
+    }
+
+    /// The one-line `EXPLAIN` label for this node alone (no children).
+    /// `EXPLAIN ANALYZE` output reuses the same labels so annotated trees
+    /// line up with plain `explain()` output.
+    pub fn node_label(&self) -> String {
         match self {
-            PhysicalPlan::SeqScan { table, predicate } => {
-                let _ = write!(out, "{pad}SeqScan {table}");
-                if let Some(p) = predicate {
-                    let _ = write!(out, " filter={p}");
-                }
-                out.push('\n');
-            }
+            PhysicalPlan::SeqScan { table, predicate } => match predicate {
+                Some(p) => format!("SeqScan {table} filter={p}"),
+                None => format!("SeqScan {table}"),
+            },
             PhysicalPlan::IndexSeek { table, range, .. } => {
-                let _ = writeln!(out, "{pad}IndexSeek {table}.{}", range.column);
+                format!("IndexSeek {table}.{}", range.column)
             }
             PhysicalPlan::IndexIntersection { table, ranges, .. } => {
                 let cols: Vec<&str> = ranges.iter().map(|r| r.column.as_str()).collect();
-                let _ = writeln!(out, "{pad}IndexIntersection {table} [{}]", cols.join(", "));
+                format!("IndexIntersection {table} [{}]", cols.join(", "))
             }
-            PhysicalPlan::Filter { input, predicate } => {
-                let _ = writeln!(out, "{pad}Filter {predicate}");
-                input.explain_into(out, depth + 1);
-            }
-            PhysicalPlan::Project { input, columns } => {
-                let _ = writeln!(out, "{pad}Project [{}]", columns.join(", "));
-                input.explain_into(out, depth + 1);
-            }
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
+            PhysicalPlan::Project { columns, .. } => format!("Project [{}]", columns.join(", ")),
             PhysicalPlan::HashJoin {
-                build,
-                probe,
                 build_key,
                 probe_key,
-            } => {
-                let _ = writeln!(out, "{pad}HashJoin {build_key} = {probe_key}");
-                build.explain_into(out, depth + 1);
-                probe.explain_into(out, depth + 1);
-            }
+                ..
+            } => format!("HashJoin {build_key} = {probe_key}"),
             PhysicalPlan::MergeJoin {
-                left,
-                right,
                 left_key,
                 right_key,
-            } => {
-                let _ = writeln!(out, "{pad}MergeJoin {left_key} = {right_key}");
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
-            }
+                ..
+            } => format!("MergeJoin {left_key} = {right_key}"),
             PhysicalPlan::IndexedNlJoin {
-                outer,
                 inner_table,
                 inner_index_column,
                 outer_key,
-            } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}IndexedNlJoin {outer_key} -> {inner_table}.{inner_index_column}"
-                );
-                outer.explain_into(out, depth + 1);
-            }
+                ..
+            } => format!("IndexedNlJoin {outer_key} -> {inner_table}.{inner_index_column}"),
             PhysicalPlan::StarSemiJoin { fact_table, legs } => {
                 let dims: Vec<&str> = legs.iter().map(|l| l.dim_table.as_str()).collect();
-                let _ = writeln!(out, "{pad}StarSemiJoin {fact_table} [{}]", dims.join(", "));
+                format!("StarSemiJoin {fact_table} [{}]", dims.join(", "))
             }
             PhysicalPlan::HashAggregate {
-                input,
                 group_by,
                 aggregates,
+                ..
             } => {
                 let aggs: Vec<&str> = aggregates.iter().map(|a| a.alias.as_str()).collect();
-                let _ = writeln!(
-                    out,
-                    "{pad}HashAggregate group=[{}] aggs=[{}]",
+                format!(
+                    "HashAggregate group=[{}] aggs=[{}]",
                     group_by.join(", "),
                     aggs.join(", ")
-                );
-                input.explain_into(out, depth + 1);
+                )
             }
+        }
+    }
+
+    /// Child subtrees in execution order (build before probe, left before
+    /// right, outer only for indexed nested loops).  The pre-order walk
+    /// over this ordering is the canonical node numbering shared by
+    /// `explain()`, `OpMetrics`, and the optimizer's per-node estimates.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::IndexSeek { .. }
+            | PhysicalPlan::IndexIntersection { .. }
+            | PhysicalPlan::StarSemiJoin { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. } => vec![input],
+            PhysicalPlan::HashJoin { build, probe, .. } => vec![build, probe],
+            PhysicalPlan::MergeJoin { left, right, .. } => vec![left, right],
+            PhysicalPlan::IndexedNlJoin { outer, .. } => vec![outer],
         }
     }
 

@@ -156,7 +156,7 @@ pub fn index_seek(
     range: &IndexRange,
     residual: Option<&Expr>,
 ) -> Batch {
-    index_seek_impl(catalog, params, tracker, table, range, residual, None)
+    index_seek_counted(catalog, params, tracker, table, range, residual, None).0
 }
 
 /// Morsel-parallel [`index_seek`]: the index descend and leaf scan stay
@@ -170,10 +170,14 @@ pub fn index_seek_par(
     residual: Option<&Expr>,
     opts: &ExecOptions,
 ) -> Batch {
-    index_seek_impl(catalog, params, tracker, table, range, residual, Some(opts))
+    index_seek_counted(catalog, params, tracker, table, range, residual, Some(opts)).0
 }
 
-fn index_seek_impl(
+/// [`index_seek`] plus the number of rows fetched before the residual
+/// filter (the deduplicated RID count), which `EXPLAIN ANALYZE` reports
+/// as the operator's `rows_in` and uses to size its morsel count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn index_seek_counted(
     catalog: &Catalog,
     params: &CostParams,
     tracker: &mut CostTracker,
@@ -181,19 +185,20 @@ fn index_seek_impl(
     range: &IndexRange,
     residual: Option<&Expr>,
     opts: Option<&ExecOptions>,
-) -> Batch {
+) -> (Batch, usize) {
     let t = catalog.table(table).expect("table exists");
     let rids = rids_for_range(catalog, params, tracker, table, range);
     let mut rows = match opts {
         Some(o) => fetch_rows_par(t, params, tracker, rids, o),
         None => fetch_rows(t, params, tracker, rids),
     };
+    let fetched = rows.len();
     if let Some(p) = residual {
         let bound = p.bind(t.schema()).expect("residual binds");
         tracker.charge_cpu_ops(rows.len() as u64);
         rows.retain(|row| rqo_expr::eval_bool(&bound, row));
     }
-    Batch::new(t.schema().clone(), rows)
+    (Batch::new(t.schema().clone(), rows), fetched)
 }
 
 /// Index intersection (the paper's risky plan): resolve each range's RID
@@ -217,7 +222,7 @@ pub fn index_intersection(
     ranges: &[IndexRange],
     residual: Option<&Expr>,
 ) -> Batch {
-    index_intersection_impl(catalog, params, tracker, table, ranges, residual, None)
+    index_intersection_counted(catalog, params, tracker, table, ranges, residual, None).0
 }
 
 /// Morsel-parallel [`index_intersection`]: the leaf scans and RID-list
@@ -233,7 +238,7 @@ pub fn index_intersection_par(
     residual: Option<&Expr>,
     opts: &ExecOptions,
 ) -> Batch {
-    index_intersection_impl(
+    index_intersection_counted(
         catalog,
         params,
         tracker,
@@ -242,10 +247,13 @@ pub fn index_intersection_par(
         residual,
         Some(opts),
     )
+    .0
 }
 
+/// [`index_intersection`] plus the number of rows fetched after the RID
+/// intersection but before the residual filter, for `EXPLAIN ANALYZE`.
 #[allow(clippy::too_many_arguments)]
-fn index_intersection_impl(
+pub(crate) fn index_intersection_counted(
     catalog: &Catalog,
     params: &CostParams,
     tracker: &mut CostTracker,
@@ -253,7 +261,7 @@ fn index_intersection_impl(
     ranges: &[IndexRange],
     residual: Option<&Expr>,
     opts: Option<&ExecOptions>,
-) -> Batch {
+) -> (Batch, usize) {
     assert!(
         ranges.len() >= 2,
         "index intersection needs at least two ranges"
@@ -285,12 +293,13 @@ fn index_intersection_impl(
         Some(o) => fetch_rows_par(t, params, tracker, acc, o),
         None => fetch_rows(t, params, tracker, acc),
     };
+    let fetched = rows.len();
     if let Some(p) = residual {
         let bound = p.bind(t.schema()).expect("residual binds");
         tracker.charge_cpu_ops(rows.len() as u64);
         rows.retain(|row| rqo_expr::eval_bool(&bound, row));
     }
-    Batch::new(t.schema().clone(), rows)
+    (Batch::new(t.schema().clone(), rows), fetched)
 }
 
 /// Intersection of two ascending RID lists.

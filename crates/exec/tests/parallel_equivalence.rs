@@ -8,16 +8,24 @@
 //!
 //! Aggregate inputs use integer-valued floats, for which partial-sum
 //! merging is exact, so even SUM/AVG results must match to the last bit.
+//!
+//! The same differential harness also pins the `EXPLAIN ANALYZE` metrics
+//! tree: every per-operator counter ([`OpMetrics`] compares everything
+//! except wall time) and its rendered form must be identical at 1, 2,
+//! and 8 threads for the same morsel size.
 
 use proptest::prelude::*;
 use rqo_datagen::workload::exp1_lineitem_predicate;
 use rqo_datagen::{TpchConfig, TpchData};
-use rqo_exec::{execute, execute_with, AggExpr, ExecOptions, IndexRange, PhysicalPlan};
+use rqo_exec::{
+    execute, execute_analyze, AggExpr, ExecOptions, IndexRange, OpMetrics, PhysicalPlan,
+};
 use rqo_expr::Expr;
 use rqo_storage::{Catalog, CostParams, DataType, Schema, TableBuilder, Value};
 
 /// Runs the plan serially and at 1/2/8 threads with the given morsel
-/// size, requiring identical rows and identical cost totals.
+/// size, requiring identical rows, identical cost totals, and identical
+/// per-operator metrics trees across thread counts.
 fn assert_equivalent(
     cat: &Catalog,
     plan: &PhysicalPlan,
@@ -25,9 +33,10 @@ fn assert_equivalent(
 ) -> Result<(), TestCaseError> {
     let params = CostParams::default();
     let (serial, serial_cost) = execute(plan, cat, &params);
+    let mut baseline: Option<OpMetrics> = None;
     for threads in [1usize, 2, 8] {
         let opts = ExecOptions::with_threads(threads).with_morsel_size(morsel);
-        let (par, par_cost) = execute_with(plan, cat, &params, &opts);
+        let (par, par_cost, metrics) = execute_analyze(plan, cat, &params, &opts);
         prop_assert_eq!(
             &par.rows,
             &serial.rows,
@@ -44,6 +53,25 @@ fn assert_equivalent(
             morsel,
             plan.node_count()
         );
+        match &baseline {
+            None => baseline = Some(metrics),
+            Some(base) => {
+                prop_assert_eq!(
+                    metrics.render(),
+                    base.render(),
+                    "rendered metrics diverged: threads={} morsel={}",
+                    threads,
+                    morsel
+                );
+                prop_assert_eq!(
+                    &metrics,
+                    base,
+                    "metrics tree diverged: threads={} morsel={}",
+                    threads,
+                    morsel
+                );
+            }
+        }
     }
     Ok(())
 }

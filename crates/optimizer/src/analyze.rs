@@ -1,0 +1,350 @@
+//! Post-hoc per-node cardinality annotation — the optimizer side of
+//! `EXPLAIN ANALYZE`.
+//!
+//! The physical plan type is a pure algebra shared with the executor and
+//! compared structurally all over the test suite, so estimated
+//! cardinalities are not stored inside the plan nodes.  Instead this
+//! module re-derives, for every node of a finished plan, the estimation
+//! request the optimizer would make for that node's subtree — which
+//! tables it covers and which of the query's predicates have been applied
+//! within it — and evaluates the active estimator on it.  The result is a
+//! side vector of [`NodeAnnotation`]s in the plan's **pre-order**
+//! numbering (node before children, children in execution order), the
+//! same numbering as [`rqo_exec::OpMetrics::preorder`], so the executor's
+//! actuals and the optimizer's estimates zip together node for node.
+//!
+//! Because each annotation records the exact `(tables, predicates)`
+//! request, observed actual selectivities can be fed back into a
+//! [`rqo_core::FeedbackStore`] under keys the estimator will hit when the
+//! same query is optimized again — closing the estimate → execute →
+//! observe → re-estimate loop.
+
+use rqo_core::{CardinalityEstimator, EstimationRequest};
+use rqo_exec::PhysicalPlan;
+use rqo_expr::Expr;
+use rqo_stats::synopsis::find_root;
+use rqo_storage::Catalog;
+
+use crate::query::Query;
+
+/// The derived estimation context for one plan node, in pre-order.
+#[derive(Debug, Clone)]
+pub struct NodeAnnotation {
+    /// Estimated output rows of the node's subtree under the active
+    /// estimator; `None` when the subtree's estimation request could not
+    /// be reconstructed (hand-built plans whose filters do not correspond
+    /// to query predicates).
+    pub est_rows: f64,
+    /// Rows of the FK-root relation of the subtree's tables — the base
+    /// the selectivity multiplies; `rows_out / root_rows` is the node's
+    /// observed selectivity.
+    pub root_rows: f64,
+    /// Tables covered by the subtree.
+    pub tables: Vec<String>,
+    /// Query predicates applied within the subtree, as `(table, expr)`
+    /// pairs — exactly the estimator request whose observed selectivity
+    /// is worth recording as feedback.
+    pub predicates: Vec<(String, Expr)>,
+}
+
+/// A `NodeAnnotation` wrapped in `Option`: `None` marks nodes with no
+/// meaningful cardinality derivation (aggregates estimate group counts
+/// heuristically and get a value-only annotation instead).
+pub type NodeAnnotations = Vec<Option<NodeAnnotation>>;
+
+/// What a subtree covers, threaded up the recursion.
+struct Spec {
+    tables: Vec<String>,
+    predicates: Vec<(String, Expr)>,
+    /// False once something in the subtree could not be mapped back to
+    /// the query (poisons estimates from there up).
+    known: bool,
+}
+
+/// Annotates every node of `plan` with the estimator's view of its
+/// subtree, in pre-order.  `estimator` should be the same (possibly
+/// hinted) module that produced the plan, so the annotations reproduce
+/// the selectivities the optimizer actually used.
+pub fn annotate_plan(
+    catalog: &Catalog,
+    estimator: &dyn CardinalityEstimator,
+    query: &Query,
+    plan: &PhysicalPlan,
+) -> NodeAnnotations {
+    let mut out = NodeAnnotations::new();
+    walk(catalog, estimator, query, plan, &mut out);
+    out
+}
+
+/// Estimated output rows per node in pre-order (`None` where no estimate
+/// could be derived) — the shape [`rqo_exec::OpMetrics::annotate`] takes.
+pub fn estimates_only(annotations: &NodeAnnotations) -> Vec<Option<f64>> {
+    annotations
+        .iter()
+        .map(|a| a.as_ref().map(|a| a.est_rows))
+        .collect()
+}
+
+fn walk(
+    catalog: &Catalog,
+    estimator: &dyn CardinalityEstimator,
+    query: &Query,
+    plan: &PhysicalPlan,
+    out: &mut NodeAnnotations,
+) -> Spec {
+    let idx = out.len();
+    out.push(None);
+    let spec = match plan {
+        PhysicalPlan::SeqScan { table, predicate } => Spec {
+            tables: vec![table.clone()],
+            predicates: predicate
+                .iter()
+                .map(|p| (table.clone(), p.clone()))
+                .collect(),
+            known: true,
+        },
+        // A seek or intersection implements the table's full query
+        // predicate (range conjuncts via the index, the rest as the
+        // residual), so its output selectivity is the query predicate's —
+        // the same request `access_paths` costs these candidates with.
+        PhysicalPlan::IndexSeek { table, .. } | PhysicalPlan::IndexIntersection { table, .. } => {
+            Spec {
+                tables: vec![table.clone()],
+                predicates: query
+                    .predicate_for(table)
+                    .map(|p| (table.clone(), p.clone()))
+                    .into_iter()
+                    .collect(),
+                known: true,
+            }
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let mut spec = walk(catalog, estimator, query, input, out);
+            // Attribute the filter to the covered table whose query
+            // predicate it is (the enumerator only emits such filters:
+            // the INL inner predicate, the star fact predicate).
+            let attributed = spec
+                .tables
+                .iter()
+                .find(|t| query.predicate_for(t) == Some(predicate))
+                .cloned();
+            match attributed {
+                Some(t) => {
+                    let already = spec
+                        .predicates
+                        .iter()
+                        .any(|(pt, pe)| *pt == t && pe == predicate);
+                    if !already {
+                        spec.predicates.push((t, predicate.clone()));
+                    }
+                }
+                None => spec.known = false,
+            }
+            spec
+        }
+        PhysicalPlan::Project { input, .. } => walk(catalog, estimator, query, input, out),
+        PhysicalPlan::HashJoin { build, probe, .. } => {
+            let b = walk(catalog, estimator, query, build, out);
+            let p = walk(catalog, estimator, query, probe, out);
+            merge_specs(b, p)
+        }
+        PhysicalPlan::MergeJoin { left, right, .. } => {
+            let l = walk(catalog, estimator, query, left, out);
+            let r = walk(catalog, estimator, query, right, out);
+            merge_specs(l, r)
+        }
+        // The inner predicate (if any) is applied by a Filter *above* the
+        // join, so only the outer side's predicates count here.
+        PhysicalPlan::IndexedNlJoin {
+            outer, inner_table, ..
+        } => {
+            let mut spec = walk(catalog, estimator, query, outer, out);
+            spec.tables.push(inner_table.clone());
+            spec
+        }
+        PhysicalPlan::StarSemiJoin { fact_table, legs } => Spec {
+            tables: std::iter::once(fact_table.clone())
+                .chain(legs.iter().map(|l| l.dim_table.clone()))
+                .collect(),
+            predicates: legs
+                .iter()
+                .map(|l| (l.dim_table.clone(), l.dim_predicate.clone()))
+                .collect(),
+            known: true,
+        },
+        PhysicalPlan::HashAggregate {
+            input, group_by, ..
+        } => {
+            let spec = walk(catalog, estimator, query, input, out);
+            // Mirror the planner's group-count heuristic: one row for a
+            // scalar aggregate, √(input estimate) for a grouped one.
+            let input_est = out
+                .get(idx + 1)
+                .and_then(|a| a.as_ref())
+                .map(|a| a.est_rows);
+            let est = if group_by.is_empty() {
+                Some(1.0)
+            } else {
+                input_est.map(|e| e.sqrt().max(1.0))
+            };
+            if let Some(est_rows) = est {
+                out[idx] = Some(NodeAnnotation {
+                    est_rows,
+                    root_rows: 0.0,
+                    tables: vec![],
+                    predicates: vec![],
+                });
+            }
+            return spec;
+        }
+    };
+    out[idx] = annotation_for(catalog, estimator, &spec);
+    spec
+}
+
+fn merge_specs(a: Spec, b: Spec) -> Spec {
+    let mut tables = a.tables;
+    tables.extend(b.tables);
+    let mut predicates = a.predicates;
+    predicates.extend(b.predicates);
+    Spec {
+        tables,
+        predicates,
+        known: a.known && b.known,
+    }
+}
+
+/// Evaluates the estimator on a subtree's derived request:
+/// `rows(FK root) × selectivity(tables, applied predicates)` — the same
+/// arithmetic `subset_card` uses while planning.
+fn annotation_for(
+    catalog: &Catalog,
+    estimator: &dyn CardinalityEstimator,
+    spec: &Spec,
+) -> Option<NodeAnnotation> {
+    if !spec.known {
+        return None;
+    }
+    let tables: Vec<&str> = spec.tables.iter().map(String::as_str).collect();
+    let root = find_root(catalog, &tables)?;
+    let root_rows = catalog.table(root).ok()?.num_rows() as f64;
+    let est_rows = if spec.predicates.is_empty() {
+        // No predicates ⇒ the FK-join cardinality is the root's rows
+        // exactly; skip the estimator like the planner does.
+        root_rows
+    } else {
+        let preds: Vec<(&str, &Expr)> = spec
+            .predicates
+            .iter()
+            .map(|(t, e)| (t.as_str(), e))
+            .collect();
+        let request = EstimationRequest::new(tables, preds);
+        let sel = estimator.estimate(&request).selectivity.clamp(0.0, 1.0);
+        root_rows * sel
+    };
+    Some(NodeAnnotation {
+        est_rows,
+        root_rows,
+        tables: spec.tables.clone(),
+        predicates: spec.predicates.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqo_core::OracleEstimator;
+    use rqo_datagen::{workload, TpchConfig, TpchData};
+    use rqo_exec::AggExpr;
+    use rqo_storage::CostParams;
+    use std::sync::Arc;
+
+    fn tpch() -> Arc<Catalog> {
+        Arc::new(
+            TpchData::generate(&TpchConfig {
+                scale_factor: 0.005,
+                seed: 42,
+            })
+            .into_catalog(),
+        )
+    }
+
+    #[test]
+    fn oracle_annotations_match_executed_cardinalities() {
+        // With the exact estimator, every annotated node's estimate must
+        // equal the actual row count the executor produces for it.
+        let cat = tpch();
+        let oracle: Arc<dyn CardinalityEstimator> =
+            Arc::new(OracleEstimator::new(Arc::clone(&cat)));
+        let opt =
+            crate::Optimizer::new(Arc::clone(&cat), CostParams::default(), Arc::clone(&oracle));
+        let query = Query::over(&["lineitem", "orders", "part"])
+            .filter("part", workload::exp2_part_predicate(150))
+            .aggregate(AggExpr::sum("l_extendedprice", "revenue"));
+        let planned = opt.optimize(&query);
+        let annotations = annotate_plan(&cat, oracle.as_ref(), &query, &planned.plan);
+        assert_eq!(
+            annotations.len(),
+            planned.plan.node_count(),
+            "one annotation per plan node"
+        );
+        let (_, _, metrics) = rqo_exec::execute_analyze(
+            &planned.plan,
+            &cat,
+            opt.params(),
+            &rqo_exec::ExecOptions::default(),
+        );
+        let actuals: Vec<u64> = metrics.preorder().iter().map(|m| m.rows_out).collect();
+        for (i, (ann, actual)) in annotations.iter().zip(&actuals).enumerate() {
+            let Some(ann) = ann else { continue };
+            // The aggregate's group-count heuristic is not exact; every
+            // real cardinality node must be.
+            if ann.tables.is_empty() {
+                continue;
+            }
+            assert!(
+                (ann.est_rows - *actual as f64).abs() < 1e-6,
+                "node {i}: oracle est {} vs actual {actual}",
+                ann.est_rows
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_aggregate_estimates_one_row() {
+        let cat = tpch();
+        let oracle: Arc<dyn CardinalityEstimator> =
+            Arc::new(OracleEstimator::new(Arc::clone(&cat)));
+        let opt =
+            crate::Optimizer::new(Arc::clone(&cat), CostParams::default(), Arc::clone(&oracle));
+        let query = Query::over(&["lineitem"])
+            .filter("lineitem", workload::exp1_lineitem_predicate(50))
+            .aggregate(AggExpr::count_star("n"));
+        let planned = opt.optimize(&query);
+        let annotations = annotate_plan(&cat, oracle.as_ref(), &query, &planned.plan);
+        let root = annotations[0].as_ref().expect("aggregate annotated");
+        assert_eq!(root.est_rows, 1.0);
+        assert!(root.tables.is_empty(), "no feedback key for aggregates");
+    }
+
+    #[test]
+    fn unmatched_filter_degrades_to_none() {
+        // A hand-built filter that is not a query predicate cannot be
+        // mapped to an estimation request; the node and its ancestors
+        // stay unannotated rather than getting a wrong estimate.
+        let cat = tpch();
+        let oracle: Arc<dyn CardinalityEstimator> =
+            Arc::new(OracleEstimator::new(Arc::clone(&cat)));
+        let query = Query::over(&["part"]);
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: "part".into(),
+                predicate: None,
+            }),
+            predicate: rqo_expr::Expr::col("p_x").lt(rqo_expr::Expr::lit(10i64)),
+        };
+        let annotations = annotate_plan(&cat, oracle.as_ref(), &query, &plan);
+        assert!(annotations[0].is_none(), "unattributable filter");
+        assert!(annotations[1].is_some(), "scan below is still annotated");
+    }
+}

@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod analyze;
 pub mod cost;
 pub mod enumerate;
 pub mod planner;
 pub mod query;
 
+pub use analyze::{annotate_plan, NodeAnnotation, NodeAnnotations};
 pub use cost::CostModel;
 pub use planner::{detect_sorted_columns, Optimizer, PlannedQuery};
 pub use query::Query;

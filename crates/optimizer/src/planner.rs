@@ -7,6 +7,7 @@ use rqo_core::CardinalityEstimator;
 use rqo_exec::PhysicalPlan;
 use rqo_storage::{Catalog, CostParams, DataType};
 
+use crate::analyze::{annotate_plan, estimates_only, NodeAnnotations};
 use crate::cost::CostModel;
 use crate::enumerate::{best_join_plan, PlanContext};
 use crate::query::Query;
@@ -23,12 +24,22 @@ pub struct PlannedQuery {
     /// Number of distinct cardinality-estimation calls made while
     /// planning (the traffic the paper's §6.1 overhead numbers are about).
     pub estimator_calls: usize,
+    /// Per-node estimation context in the plan's pre-order numbering
+    /// (see [`crate::analyze`]): the estimated cardinality each operator
+    /// was planned at, plus the `(tables, predicates)` request behind it.
+    pub node_annotations: NodeAnnotations,
 }
 
 impl PlannedQuery {
     /// A short label of the plan's shape (for experiment reports).
     pub fn shape(&self) -> String {
         self.plan.shape_label()
+    }
+
+    /// Estimated output rows per plan node in pre-order — the vector
+    /// [`rqo_exec::OpMetrics::annotate`] accepts.
+    pub fn node_estimates(&self) -> Vec<Option<f64>> {
+        estimates_only(&self.node_annotations)
     }
 }
 
@@ -131,11 +142,13 @@ impl Optimizer {
             )
         };
 
+        let node_annotations = annotate_plan(&self.catalog, estimator, query, &plan);
         PlannedQuery {
             plan,
             estimated_cost_ms: cost_ms,
             estimated_rows: best.out_rows,
             estimator_calls: ctx.estimator_calls(),
+            node_annotations,
         }
     }
 }

@@ -153,6 +153,21 @@ impl CostTracker {
         total
     }
 
+    /// Counter-wise difference `self - since`, for attributing the work
+    /// charged between two snapshots of the same tracker (e.g. the cost of
+    /// one operator's subtree in `EXPLAIN ANALYZE`).  Counters only ever
+    /// grow, but the subtraction saturates so a stale snapshot cannot
+    /// panic.
+    pub fn diff(&self, since: &CostTracker) -> CostTracker {
+        CostTracker {
+            seq_pages: self.seq_pages.saturating_sub(since.seq_pages),
+            random_ios: self.random_ios.saturating_sub(since.random_ios),
+            cpu_ops: self.cpu_ops.saturating_sub(since.cpu_ops),
+            hash_builds: self.hash_builds.saturating_sub(since.hash_builds),
+            hash_probes: self.hash_probes.saturating_sub(since.hash_probes),
+        }
+    }
+
     /// Total simulated milliseconds under the given parameters.
     pub fn millis(&self, p: &CostParams) -> f64 {
         self.seq_pages as f64 * p.seq_page_ms
@@ -300,6 +315,26 @@ mod tests {
         assert_eq!(forward.cpu_ops, 10);
         assert_eq!(forward.hash_builds, 6);
         assert_eq!(forward.hash_probes, 6);
+    }
+
+    #[test]
+    fn diff_recovers_work_between_snapshots() {
+        let mut t = CostTracker::new();
+        t.charge_seq_pages(3);
+        t.charge_cpu_ops(10);
+        let snapshot = t;
+        t.charge_seq_pages(4);
+        t.charge_random_ios(2);
+        t.charge_hash_probes(6);
+        let delta = t.diff(&snapshot);
+        assert_eq!(delta.seq_pages, 4);
+        assert_eq!(delta.random_ios, 2);
+        assert_eq!(delta.cpu_ops, 0);
+        assert_eq!(delta.hash_probes, 6);
+        // Snapshot + delta reassembles the final totals.
+        assert_eq!(snapshot + delta, t);
+        // A stale (larger) snapshot saturates to zero instead of panicking.
+        assert_eq!(snapshot.diff(&t), CostTracker::new());
     }
 
     #[test]

@@ -24,6 +24,7 @@ struct Args {
     fact_rows: usize,
     seed: u64,
     threads: usize,
+    explain_analyze: bool,
 }
 
 impl Args {
@@ -38,12 +39,14 @@ impl Args {
             fact_rows: 500_000,
             seed: 7,
             threads: 1,
+            explain_analyze: false,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         if argv.is_empty() {
             eprintln!(
                 "usage: rqo_demo <exp1|exp2|exp3> [--offset N] [--window N] [--level N] \
-                 [--threshold PCT] [--scale F] [--fact-rows N] [--seed N] [--threads N]"
+                 [--threshold PCT] [--scale F] [--fact-rows N] [--seed N] [--threads N] \
+                 [--explain-analyze]"
             );
             std::process::exit(2);
         }
@@ -51,6 +54,12 @@ impl Args {
         let mut i = 1;
         while i < argv.len() {
             let flag = argv[i].as_str();
+            // Boolean flags take no value.
+            if flag == "--explain-analyze" {
+                args.explain_analyze = true;
+                i += 1;
+                continue;
+            }
             let value = argv
                 .get(i + 1)
                 .unwrap_or_else(|| panic!("missing value after {flag}"));
@@ -144,12 +153,19 @@ fn main() {
     .with_threshold(threshold)
     .with_exec_options(ExecOptions::with_threads(args.threads));
 
-    let outcome = db.run(&query);
     println!(
         "scenario: {}  (T = {}%, threads = {})",
         args.scenario, args.threshold_pct, args.threads
     );
-    println!("\nrobust plan:\n{}", outcome.plan.explain());
+    let outcome = if args.explain_analyze {
+        let analyzed = db.explain_analyze(&query);
+        println!("\nrobust plan (EXPLAIN ANALYZE):\n{}", analyzed.render());
+        analyzed.outcome
+    } else {
+        let outcome = db.run(&query);
+        println!("\nrobust plan:\n{}", outcome.plan.explain());
+        outcome
+    };
     print!("result: ");
     for (c, v) in outcome.columns.iter().zip(&outcome.rows[0]) {
         print!("{c}={v}  ");

@@ -62,17 +62,17 @@ pub use rqo_storage as storage;
 
 /// One-stop imports for applications and the examples.
 pub mod prelude {
-    pub use crate::RobustDb;
+    pub use crate::{AnalyzedOutcome, QueryOutcome, RobustDb};
     pub use rqo_core::{
         CardinalityEstimator, ConfidenceThreshold, DistributionalHistogramEstimator,
-        EstimationRequest, EstimatorConfig, HistogramEstimator, MagicPolicy, OnTheFlyEstimator,
-        Prior, RobustEstimator, RobustnessLevel, SelectivityPosterior,
+        EstimationRequest, EstimatorConfig, FeedbackStore, HistogramEstimator, MagicPolicy,
+        OnTheFlyEstimator, Prior, RobustEstimator, RobustnessLevel, SelectivityPosterior,
     };
     pub use rqo_datagen::workload::{
         exp1_lineitem_predicate, exp2_part_predicate, exp3_dim_predicate, true_selectivity,
     };
     pub use rqo_datagen::{StarConfig, StarData, TpchConfig, TpchData};
-    pub use rqo_exec::{AggExpr, ExecOptions, PhysicalPlan};
+    pub use rqo_exec::{AggExpr, ExecOptions, OpMetrics, PhysicalPlan};
     pub use rqo_expr::Expr;
     pub use rqo_optimizer::{Optimizer, PlannedQuery, Query};
     pub use rqo_stats::SynopsisRepository;
@@ -83,8 +83,10 @@ pub mod prelude {
 
 use std::sync::Arc;
 
-use rqo_core::{ConfidenceThreshold, EstimatorConfig, RobustEstimator, RobustnessLevel};
-use rqo_exec::{Batch, ExecOptions, PhysicalPlan};
+use rqo_core::{
+    ConfidenceThreshold, EstimatorConfig, FeedbackStore, RobustEstimator, RobustnessLevel,
+};
+use rqo_exec::{Batch, ExecOptions, OpMetrics, PhysicalPlan};
 use rqo_optimizer::{Optimizer, Query};
 use rqo_stats::SynopsisRepository;
 use rqo_storage::{Catalog, CostParams, Value};
@@ -105,6 +107,28 @@ pub struct QueryOutcome {
     pub estimated_seconds: f64,
 }
 
+/// The result of [`RobustDb::explain_analyze`]: a [`QueryOutcome`] plus
+/// the per-operator metrics tree, annotated with the optimizer's own
+/// cardinality estimates so every node reports estimate vs. actual and
+/// the q-error between them.
+#[derive(Debug, Clone)]
+pub struct AnalyzedOutcome {
+    /// The ordinary query result.
+    pub outcome: QueryOutcome,
+    /// Per-operator metrics, in the same tree shape as the plan.
+    pub metrics: OpMetrics,
+}
+
+impl AnalyzedOutcome {
+    /// Renders the annotated plan tree — the `EXPLAIN ANALYZE` output.
+    ///
+    /// Deterministic: identical at every thread count and morsel size for
+    /// the same database and query.
+    pub fn render(&self) -> String {
+        self.metrics.render()
+    }
+}
+
 /// A batteries-included database handle: catalog + precomputed join
 /// synopses + a robust optimizer, behind one `run(query)` call.
 ///
@@ -119,6 +143,7 @@ pub struct RobustDb {
     sample_size: usize,
     seed: u64,
     exec_options: ExecOptions,
+    feedback: Arc<FeedbackStore>,
 }
 
 impl RobustDb {
@@ -146,6 +171,7 @@ impl RobustDb {
             sample_size,
             seed,
             exec_options: ExecOptions::default(),
+            feedback: Arc::new(FeedbackStore::new()),
         }
     }
 
@@ -193,12 +219,23 @@ impl RobustDb {
         self.threshold
     }
 
-    /// An optimizer bound to this database's statistics and threshold.
+    /// The execution-feedback store.  Empty until a query is run through
+    /// [`explain_analyze`](Self::explain_analyze), which records each
+    /// annotated operator's observed selectivity; subsequent calls to
+    /// [`optimizer`](Self::optimizer) (and hence [`run`](Self::run))
+    /// replace matching estimates with the observed values.
+    pub fn feedback(&self) -> &Arc<FeedbackStore> {
+        &self.feedback
+    }
+
+    /// An optimizer bound to this database's statistics, threshold, and
+    /// feedback store.
     pub fn optimizer(&self) -> Optimizer {
         let est = RobustEstimator::new(
             Arc::clone(&self.synopses),
             EstimatorConfig::with_threshold(self.threshold),
-        );
+        )
+        .with_feedback(Arc::clone(&self.feedback));
         Optimizer::new(Arc::clone(&self.catalog), self.params, Arc::new(est))
     }
 
@@ -219,6 +256,57 @@ impl RobustDb {
             rows,
             simulated_seconds: cost.seconds(&self.params),
             estimated_seconds: planned.estimated_cost_ms / 1000.0,
+        }
+    }
+
+    /// `EXPLAIN ANALYZE`: optimizes and executes a query, returning the
+    /// result together with a per-operator metrics tree annotated with
+    /// the optimizer's cardinality estimates (estimate vs. actual rows
+    /// and the q-error between them, per node).
+    ///
+    /// As a side effect, every annotated operator's *observed*
+    /// selectivity is recorded in [`feedback`](Self::feedback), so
+    /// re-optimizing the same (or an overlapping) query afterwards uses
+    /// the true selectivities in place of sample-based estimates.
+    pub fn explain_analyze(&self, query: &Query) -> AnalyzedOutcome {
+        let planned = self.optimizer().optimize(query);
+        let (batch, cost, mut metrics) = rqo_exec::execute_analyze(
+            &planned.plan,
+            &self.catalog,
+            &self.params,
+            &self.exec_options,
+        );
+        metrics.annotate(&planned.node_estimates());
+
+        // Record observed selectivities: each annotated node's actual
+        // output cardinality, relative to the root relation the planner
+        // priced it against, keyed by the exact (tables, predicates)
+        // request the estimator answered during planning.
+        for (node, annotation) in metrics.preorder().iter().zip(&planned.node_annotations) {
+            let Some(ann) = annotation else { continue };
+            if ann.predicates.is_empty() || ann.root_rows <= 0.0 {
+                continue;
+            }
+            let observed = (node.rows_out as f64 / ann.root_rows).clamp(0.0, 1.0);
+            let tables: Vec<&str> = ann.tables.iter().map(String::as_str).collect();
+            let predicates: Vec<_> = ann
+                .predicates
+                .iter()
+                .map(|(t, e)| (t.as_str(), e))
+                .collect();
+            self.feedback.record(&tables, &predicates, observed);
+        }
+
+        let Batch { schema, rows } = batch;
+        AnalyzedOutcome {
+            outcome: QueryOutcome {
+                plan: planned.plan,
+                columns: schema.names().iter().map(|s| s.to_string()).collect(),
+                rows,
+                simulated_seconds: cost.seconds(&self.params),
+                estimated_seconds: planned.estimated_cost_ms / 1000.0,
+            },
+            metrics,
         }
     }
 }

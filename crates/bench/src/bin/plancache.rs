@@ -1,0 +1,221 @@
+//! Plan-cache throughput driver: cold vs. warm optimization latency and
+//! concurrent plans/sec on a repeated workload, emitted as
+//! `BENCH_plancache.json`.
+//!
+//! The workload models a production server replaying a fixed set of
+//! parameterized queries (single-table Experiment-1 windows plus
+//! three-way Experiment-2 joins) against one shared [`RobustDb`]:
+//!
+//! * **cold** — every optimization runs the full pipeline (access-path
+//!   selection, DP join enumeration, posterior inversion);
+//! * **warm** — the shared plan cache serves memoized plans under the
+//!   canonical fingerprint, measured at 1, 2, and 8 threads.
+//!
+//! ```sh
+//! cargo run --release -p rqo-bench --bin plancache -- \
+//!     [--scale F] [--iters N] [--cold-rounds N] [--out PATH] [--tiny]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use robust_qo::RobustDb;
+use rqo_datagen::workload::{exp1_lineitem_predicate, exp2_part_predicate};
+use rqo_datagen::{TpchConfig, TpchData};
+use rqo_exec::AggExpr;
+use rqo_optimizer::Query;
+
+struct Args {
+    scale: f64,
+    iters: usize,
+    cold_rounds: usize,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            scale: 0.01,
+            iters: 2_000,
+            cold_rounds: 5,
+            out: "BENCH_plancache.json".to_string(),
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                // CI smoke preset: small catalog, few iterations.
+                "--tiny" => {
+                    args.scale = 0.002;
+                    args.iters = 200;
+                    args.cold_rounds = 2;
+                    i += 1;
+                }
+                flag => {
+                    let value = argv
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("missing value after {flag}"));
+                    match flag {
+                        "--scale" => args.scale = value.parse().expect("--scale"),
+                        "--iters" => args.iters = value.parse().expect("--iters"),
+                        "--cold-rounds" => args.cold_rounds = value.parse().expect("--cold-rounds"),
+                        "--out" => args.out = value.clone(),
+                        other => panic!("unknown flag {other:?}"),
+                    }
+                    i += 2;
+                }
+            }
+        }
+        args
+    }
+}
+
+/// The repeated workload: distinct parameterizations so the cache holds
+/// several fingerprints, mixing cheap single-table planning with DP join
+/// enumeration.
+fn workload() -> Vec<Query> {
+    let mut queries = Vec::new();
+    for offset in [0i64, 30, 60, 90, 110, 130] {
+        queries.push(
+            Query::over(&["lineitem"])
+                .filter("lineitem", exp1_lineitem_predicate(offset))
+                .aggregate(AggExpr::sum("l_extendedprice", "revenue")),
+        );
+    }
+    for window in [150i64, 212, 250, 295] {
+        queries.push(
+            Query::over(&["lineitem", "orders", "part"])
+                .filter("part", exp2_part_predicate(window))
+                .aggregate(AggExpr::count_star("n")),
+        );
+    }
+    queries
+}
+
+struct WarmResult {
+    threads: usize,
+    plans: usize,
+    wall_ns: u128,
+}
+
+impl WarmResult {
+    fn avg_ns(&self) -> f64 {
+        // Per-plan latency as experienced by one caller: total thread-time
+        // divided by plans (each thread optimizes sequentially).
+        self.wall_ns as f64 * self.threads as f64 / self.plans as f64
+    }
+
+    fn plans_per_sec(&self) -> f64 {
+        self.plans as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: args.scale,
+        seed: 42,
+    });
+    let db = RobustDb::new(data.into_catalog());
+    let queries = workload();
+
+    // Cold planning: the full pipeline, bypassing the cache.
+    let cold_start = Instant::now();
+    let mut cold_plans = 0usize;
+    for _ in 0..args.cold_rounds {
+        for q in &queries {
+            std::hint::black_box(db.optimizer().optimize(q));
+            cold_plans += 1;
+        }
+    }
+    let cold_ns = cold_start.elapsed().as_nanos();
+    let cold_avg_ns = cold_ns as f64 / cold_plans as f64;
+
+    // Warm the cache once, then measure repeated traffic at 1/2/8
+    // threads against the shared database handle.
+    for q in &queries {
+        std::hint::black_box(db.optimize(q));
+    }
+    let mut warm = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..args.iters {
+                        for q in &queries {
+                            std::hint::black_box(db.optimize(q));
+                        }
+                    }
+                });
+            }
+        });
+        warm.push(WarmResult {
+            threads,
+            plans: threads * args.iters * queries.len(),
+            wall_ns: start.elapsed().as_nanos(),
+        });
+    }
+
+    let stats = db.cache_stats();
+    let warm_1t_avg = warm[0].avg_ns();
+    let speedup = cold_avg_ns / warm_1t_avg;
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"plancache\",").unwrap();
+    writeln!(json, "  \"scale_factor\": {},", args.scale).unwrap();
+    writeln!(json, "  \"distinct_queries\": {},", queries.len()).unwrap();
+    writeln!(json, "  \"cold\": {{").unwrap();
+    writeln!(json, "    \"plans\": {cold_plans},").unwrap();
+    writeln!(json, "    \"avg_ns\": {cold_avg_ns:.1},").unwrap();
+    writeln!(
+        json,
+        "    \"plans_per_sec\": {:.1}",
+        cold_plans as f64 / (cold_ns as f64 / 1e9)
+    )
+    .unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"warm\": [").unwrap();
+    for (i, w) in warm.iter().enumerate() {
+        let comma = if i + 1 < warm.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"threads\": {}, \"plans\": {}, \"avg_ns\": {:.1}, \"plans_per_sec\": {:.1}}}{comma}",
+            w.threads,
+            w.plans,
+            w.avg_ns(),
+            w.plans_per_sec()
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"warm_over_cold_speedup\": {speedup:.2},").unwrap();
+    writeln!(json, "  \"cache\": {{").unwrap();
+    writeln!(json, "    \"hits\": {},", stats.hits).unwrap();
+    writeln!(json, "    \"misses\": {},", stats.misses).unwrap();
+    writeln!(json, "    \"hit_rate\": {:.6},", stats.hit_rate()).unwrap();
+    writeln!(json, "    \"drift_evictions\": {},", stats.drift_evictions).unwrap();
+    writeln!(
+        json,
+        "    \"epoch_invalidations\": {},",
+        stats.epoch_invalidations
+    )
+    .unwrap();
+    writeln!(json, "    \"entries\": {}", stats.entries).unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    print!("{json}");
+    std::fs::write(&args.out, &json).expect("write BENCH json");
+    eprintln!(
+        "cold {:.1}µs/plan, warm {:.3}µs/plan ({speedup:.0}× speedup), wrote {}",
+        cold_avg_ns / 1e3,
+        warm_1t_avg / 1e3,
+        args.out
+    );
+    assert!(
+        speedup >= 5.0,
+        "warm-cache optimize must be ≥ 5× faster than cold planning (got {speedup:.2}×)"
+    );
+}

@@ -15,14 +15,37 @@
 //! sorted `"table:expr"` strings.  An observation recorded for a plan
 //! node therefore hits exactly when the optimizer asks the estimator the
 //! same question again, regardless of enumeration order.
+//!
+//! # Statistics epochs
+//!
+//! Observations are only valid against the data shape they were measured
+//! on.  The store therefore carries a monotonically increasing
+//! **statistics epoch**: [`FeedbackStore::advance_epoch`] (called by the
+//! `UPDATE STATISTICS` analogue, `RobustDb::refresh_statistics`) drops
+//! every recorded observation and bumps the counter, so downstream
+//! consumers — the estimator, and any plan cache whose fingerprints embed
+//! the epoch — atomically stop seeing stale selectivities.  Without this,
+//! feedback observed against the *old* data keeps overriding fresh
+//! samples forever (the stale-feedback bug fixed in PR 3).
+//!
+//! # Lock poisoning
+//!
+//! The store is shared between recorder threads (executing facades) and
+//! reader threads (concurrent optimizers).  A recorder that panics for an
+//! unrelated reason must not cascade panics into every optimizer, so all
+//! lock acquisitions recover from poisoning via
+//! [`PoisonError::into_inner`]: the map's invariant (canonical key →
+//! clamped selectivity) holds after every individual insert, making the
+//! data safe to read even when a holder died mid-flight.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use rqo_expr::Expr;
 
 /// Thread-safe map from canonical estimation-request keys to observed
-/// selectivities in `[0, 1]`.
+/// selectivities in `[0, 1]`, tagged with a statistics epoch.
 ///
 /// Interior mutability (a [`Mutex`]) lets a single store be shared via
 /// `Arc` between the executing facade (which records) and estimators
@@ -30,12 +53,22 @@ use rqo_expr::Expr;
 #[derive(Debug, Default)]
 pub struct FeedbackStore {
     observations: Mutex<HashMap<String, f64>>,
+    epoch: AtomicU64,
 }
 
 impl FeedbackStore {
-    /// Creates an empty store.
+    /// Creates an empty store at epoch 0.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Acquires the observation map, recovering from poisoning: every
+    /// individual insert leaves the map consistent, so observations
+    /// written before a holder panicked are still valid.
+    fn guard(&self) -> MutexGuard<'_, HashMap<String, f64>> {
+        self.observations
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Canonical key for an estimation request: tables sorted, predicates
@@ -50,32 +83,49 @@ impl FeedbackStore {
         format!("{key_tables:?}|{key_preds:?}")
     }
 
+    /// The current statistics epoch.  Starts at 0; bumped by
+    /// [`advance_epoch`](Self::advance_epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Invalidates every observation and advances the statistics epoch,
+    /// returning the new epoch.  Call whenever the statistics the
+    /// observations were measured against are replaced (sample redraw,
+    /// bulk data change): selectivities observed against the old data
+    /// must not override estimates drawn from the new.
+    pub fn advance_epoch(&self) -> u64 {
+        let mut map = self.guard();
+        map.clear();
+        // Bumped while the map lock is held so no recorder can slip a
+        // pre-refresh observation into the post-refresh epoch.
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
     /// Records an observed selectivity (clamped to `[0, 1]`), overwriting
-    /// any previous observation for the same request.
-    pub fn record(&self, tables: &[&str], predicates: &[(&str, &Expr)], selectivity: f64) {
+    /// any previous observation for the same request.  Returns the
+    /// previous observation, if any — the drift hook callers use to
+    /// detect when reality moved away from what a cached plan was priced
+    /// at.
+    pub fn record(
+        &self,
+        tables: &[&str],
+        predicates: &[(&str, &Expr)],
+        selectivity: f64,
+    ) -> Option<f64> {
         let key = Self::canonical_key(tables, predicates);
-        self.observations
-            .lock()
-            .expect("feedback store lock poisoned")
-            .insert(key, selectivity.clamp(0.0, 1.0));
+        self.guard().insert(key, selectivity.clamp(0.0, 1.0))
     }
 
     /// Returns the observed selectivity for this request, if any.
     pub fn lookup(&self, tables: &[&str], predicates: &[(&str, &Expr)]) -> Option<f64> {
         let key = Self::canonical_key(tables, predicates);
-        self.observations
-            .lock()
-            .expect("feedback store lock poisoned")
-            .get(&key)
-            .copied()
+        self.guard().get(&key).copied()
     }
 
     /// Number of recorded observations.
     pub fn len(&self) -> usize {
-        self.observations
-            .lock()
-            .expect("feedback store lock poisoned")
-            .len()
+        self.guard().len()
     }
 
     /// True when nothing has been recorded yet.
@@ -83,18 +133,16 @@ impl FeedbackStore {
         self.len() == 0
     }
 
-    /// Drops all recorded observations.
+    /// Drops all recorded observations without advancing the epoch.
     pub fn clear(&self) {
-        self.observations
-            .lock()
-            .expect("feedback store lock poisoned")
-            .clear();
+        self.guard().clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn pred(column: &str, value: i64) -> Expr {
         Expr::col(column).lt(Expr::lit(value))
@@ -122,12 +170,13 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.lookup(&["t"], &[("t", &p)]), None);
 
-        store.record(&["t"], &[("t", &p)], 0.25);
+        assert_eq!(store.record(&["t"], &[("t", &p)], 0.25), None);
         assert_eq!(store.len(), 1);
         assert_eq!(store.lookup(&["t"], &[("t", &p)]), Some(0.25));
 
-        // Re-recording overwrites; out-of-range observations are clamped.
-        store.record(&["t"], &[("t", &p)], 1.5);
+        // Re-recording overwrites (returning the displaced observation);
+        // out-of-range observations are clamped.
+        assert_eq!(store.record(&["t"], &[("t", &p)], 1.5), Some(0.25));
         assert_eq!(store.lookup(&["t"], &[("t", &p)]), Some(1.0));
         assert_eq!(store.len(), 1);
 
@@ -144,5 +193,43 @@ mod tests {
         store.record(&["t"], &[("t", &p9)], 0.9);
         assert_eq!(store.lookup(&["t"], &[("t", &p5)]), Some(0.1));
         assert_eq!(store.lookup(&["t"], &[("t", &p9)]), Some(0.9));
+    }
+
+    #[test]
+    fn advance_epoch_clears_and_bumps() {
+        let store = FeedbackStore::new();
+        let p = pred("k", 5);
+        assert_eq!(store.epoch(), 0);
+        store.record(&["t"], &[("t", &p)], 0.25);
+        assert_eq!(store.advance_epoch(), 1);
+        assert_eq!(store.epoch(), 1);
+        assert!(
+            store.is_empty(),
+            "epoch advance must drop stale observations"
+        );
+        assert_eq!(store.advance_epoch(), 2);
+    }
+
+    #[test]
+    fn poisoned_store_still_serves_lookups() {
+        let store = Arc::new(FeedbackStore::new());
+        let p = pred("k", 5);
+        store.record(&["t"], &[("t", &p)], 0.25);
+
+        // Poison the mutex: panic on a thread that holds the lock.
+        let poisoner = Arc::clone(&store);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.observations.lock().unwrap();
+            panic!("recorder died while holding the feedback lock");
+        });
+        assert!(handle.join().is_err(), "poisoner thread must panic");
+        assert!(store.observations.lock().is_err(), "mutex is poisoned");
+
+        // Every access path recovers instead of cascading the panic.
+        assert_eq!(store.lookup(&["t"], &[("t", &p)]), Some(0.25));
+        assert_eq!(store.record(&["t"], &[("t", &p)], 0.5), Some(0.25));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.advance_epoch(), 1);
+        assert!(store.is_empty());
     }
 }

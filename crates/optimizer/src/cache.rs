@@ -1,0 +1,557 @@
+//! A shared, thread-safe plan cache with feedback-drift invalidation.
+//!
+//! Under heavy repeated traffic, re-running DP join enumeration and
+//! posterior inversion for every arriving query is wasted work: the same
+//! canonical query against the same statistics always produces the same
+//! plan.  This module memoizes finished [`PlannedQuery`]s under a
+//! [`PlanFingerprint`] — the canonical form of the query plus the
+//! confidence threshold it was priced at plus the **statistics epoch** —
+//! and serves them lock-cheaply (one `RwLock` read acquisition and an
+//! `Arc` clone) to any number of concurrent callers.
+//!
+//! Three events remove entries:
+//!
+//! * **Feedback drift** — an `EXPLAIN ANALYZE` run observes the true
+//!   selectivity of a predicate set.  [`PlanCache::observe`] compares the
+//!   observation against the selectivity each cached plan was *priced*
+//!   at (recorded per estimation-request key at insert time); when the
+//!   q-error `max(est, obs) / min(est, obs)` exceeds the configured
+//!   [`drift bound`](PlanCache::drift_bound), every fingerprint priced
+//!   with that key is evicted, and the next optimization re-plans with
+//!   the feedback in effect.  Entries whose estimates were close enough
+//!   stay — re-planning them would reach the same plan.
+//! * **Epoch invalidation** — `refresh_statistics` bumps the statistics
+//!   epoch.  Fingerprints embed the epoch, so stale entries can never be
+//!   *hit* again; [`PlanCache::invalidate_epochs_before`] additionally
+//!   drops them eagerly so the map does not grow without bound.
+//! * **Explicit [`clear`](PlanCache::clear)**.
+//!
+//! Every event is counted and exposed as a [`CacheStats`] snapshot so the
+//! cache's behaviour is observable rather than inferred.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use rqo_core::ConfidenceThreshold;
+
+use crate::planner::PlannedQuery;
+use crate::query::Query;
+
+/// Default drift bound: a cached plan survives as long as every observed
+/// selectivity is within 2× (either direction) of the selectivity the
+/// plan was priced at.  Cost is monotone in cardinality, so small drift
+/// moves cost estimates without usually moving the argmin; a 2× error is
+/// where the paper's cost curves start crossing.
+pub const DEFAULT_DRIFT_BOUND: f64 = 2.0;
+
+/// Selectivity floor used in q-error comparisons, so an estimate of
+/// exactly zero still yields a finite (and enormous) q-error against any
+/// positive observation.
+const SELECTIVITY_FLOOR: f64 = 1e-12;
+
+/// The canonical identity of a cached plan: *what was asked* (the query's
+/// canonical form), *how it was priced* (the effective confidence
+/// threshold, hint included), and *against which statistics* (the epoch).
+///
+/// Two `Query` values that differ only in construction order — table
+/// listing order, predicate attachment order — map to the same
+/// fingerprint; anything that can change the chosen plan (predicates,
+/// grouping, aggregates, threshold, statistics epoch) is part of it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanFingerprint {
+    canonical: String,
+    /// Exact bits of the effective threshold — fingerprints must not
+    /// merge thresholds that merely round alike.
+    threshold_bits: u64,
+    epoch: u64,
+}
+
+impl PlanFingerprint {
+    /// Fingerprints a query priced at `threshold` (overridden by the
+    /// query's own hint, mirroring [`crate::Optimizer::optimize`])
+    /// against statistics epoch `epoch`.
+    pub fn of(query: &Query, threshold: ConfidenceThreshold, epoch: u64) -> Self {
+        let effective = query.hint.unwrap_or(threshold);
+        let mut tables: Vec<&str> = query.tables.iter().map(String::as_str).collect();
+        tables.sort_unstable();
+        // Same rendering as the feedback store's canonical key: sorted
+        // `"table:expr"` strings, so the two canonicalizations agree.
+        let mut preds: Vec<String> = query
+            .predicates
+            .iter()
+            .map(|(t, e)| format!("{t}:{e}"))
+            .collect();
+        preds.sort_unstable();
+        // Grouping and aggregate order affect the output schema, so they
+        // enter the fingerprint in declaration order.
+        let canonical = format!(
+            "{tables:?}|{preds:?}|group={:?}|aggs={:?}",
+            query.group_by, query.aggregates
+        );
+        Self {
+            canonical,
+            threshold_bits: effective.value().to_bits(),
+            epoch,
+        }
+    }
+
+    /// The statistics epoch this fingerprint was formed against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// A point-in-time snapshot of the cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required fresh planning.
+    pub misses: u64,
+    /// Entries evicted because an observed selectivity drifted past the
+    /// bound relative to what the plan was priced at.
+    pub drift_evictions: u64,
+    /// Entries dropped by statistics-epoch invalidation (plus explicit
+    /// `clear`).
+    pub epoch_invalidations: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} drift_evictions={} epoch_invalidations={} entries={} (hit rate {:.1}%)",
+            self.hits,
+            self.misses,
+            self.drift_evictions,
+            self.epoch_invalidations,
+            self.entries,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// One cached plan plus the per-request selectivities it was priced at —
+/// the reference point drift is measured against.
+struct CacheEntry {
+    planned: Arc<PlannedQuery>,
+    /// Feedback canonical key → estimated selectivity (`est_rows /
+    /// root_rows`) for every annotated node with predicates.
+    priced_at: HashMap<String, f64>,
+}
+
+#[derive(Default)]
+struct Inner {
+    plans: HashMap<PlanFingerprint, CacheEntry>,
+    /// Reverse index: feedback key → fingerprints priced with it, so an
+    /// observation checks only the plans it can actually invalidate.
+    by_key: HashMap<String, HashSet<PlanFingerprint>>,
+}
+
+/// The shared, thread-safe plan cache.  See the module docs for the
+/// lifecycle; construct one per database handle and share it via `Arc`.
+pub struct PlanCache {
+    inner: RwLock<Inner>,
+    drift_bound: f64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    drift_evictions: AtomicU64,
+    epoch_invalidations: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_DRIFT_BOUND)
+    }
+}
+
+impl PlanCache {
+    /// Creates an empty cache that evicts on observed q-error greater
+    /// than `drift_bound` (must be ≥ 1; 1 evicts on any disagreement).
+    pub fn new(drift_bound: f64) -> Self {
+        assert!(
+            drift_bound >= 1.0 && drift_bound.is_finite(),
+            "drift bound {drift_bound} must be a finite q-error ≥ 1"
+        );
+        Self {
+            inner: RwLock::new(Inner::default()),
+            drift_bound,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            drift_evictions: AtomicU64::new(0),
+            epoch_invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured drift bound (q-error).
+    pub fn drift_bound(&self) -> f64 {
+        self.drift_bound
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Inner> {
+        // Same recovery rationale as the feedback store: each write
+        // leaves the maps consistent, so poisoning is survivable.
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Inner> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up a fingerprint, counting the hit or miss.  The returned
+    /// plan is shared — callers clone nodes out of it as needed.
+    pub fn get(&self, fingerprint: &PlanFingerprint) -> Option<Arc<PlannedQuery>> {
+        let found = self
+            .read()
+            .plans
+            .get(fingerprint)
+            .map(|e| Arc::clone(&e.planned));
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or replaces) a plan, recording the selectivity each
+    /// annotated estimation request was priced at so later observations
+    /// can be checked for drift.  Returns the shared handle.
+    ///
+    /// Two threads that race on the same cold fingerprint both plan and
+    /// both insert; planning is deterministic, so the second insert
+    /// replaces an identical entry and either handle is correct.
+    pub fn insert(&self, fingerprint: PlanFingerprint, planned: PlannedQuery) -> Arc<PlannedQuery> {
+        let mut priced_at = HashMap::new();
+        for ann in planned.node_annotations.iter().flatten() {
+            if ann.predicates.is_empty() || ann.root_rows <= 0.0 {
+                continue;
+            }
+            let tables: Vec<&str> = ann.tables.iter().map(String::as_str).collect();
+            let predicates: Vec<(&str, &rqo_expr::Expr)> = ann
+                .predicates
+                .iter()
+                .map(|(t, e)| (t.as_str(), e))
+                .collect();
+            let key = rqo_core::FeedbackStore::canonical_key(&tables, &predicates);
+            priced_at.insert(key, (ann.est_rows / ann.root_rows).clamp(0.0, 1.0));
+        }
+
+        let planned = Arc::new(planned);
+        let mut inner = self.write();
+        // Replacing an entry must drop its old reverse-index edges first,
+        // or keys priced only by the displaced plan would dangle.
+        if let Some(old) = inner.plans.remove(&fingerprint) {
+            unindex(&mut inner, &fingerprint, &old);
+        }
+        for key in priced_at.keys() {
+            inner
+                .by_key
+                .entry(key.clone())
+                .or_default()
+                .insert(fingerprint.clone());
+        }
+        inner.plans.insert(
+            fingerprint,
+            CacheEntry {
+                planned: Arc::clone(&planned),
+                priced_at,
+            },
+        );
+        planned
+    }
+
+    /// Reacts to an observed selectivity for one estimation-request key
+    /// (canonical [`rqo_core::FeedbackStore`] form): evicts every cached
+    /// plan whose priced-at selectivity for that key q-errs beyond the
+    /// drift bound, and returns the evicted fingerprints.
+    pub fn observe(&self, key: &str, observed: f64) -> Vec<PlanFingerprint> {
+        let mut inner = self.write();
+        let Some(holders) = inner.by_key.get(key) else {
+            return Vec::new();
+        };
+        let drifted: Vec<PlanFingerprint> = holders
+            .iter()
+            .filter(|fp| {
+                inner
+                    .plans
+                    .get(fp)
+                    .and_then(|e| e.priced_at.get(key))
+                    .is_some_and(|est| q_error(*est, observed) > self.drift_bound)
+            })
+            .cloned()
+            .collect();
+        for fp in &drifted {
+            if let Some(entry) = inner.plans.remove(fp) {
+                unindex(&mut inner, fp, &entry);
+                self.drift_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drifted
+    }
+
+    /// Eagerly drops every entry fingerprinted against an epoch older
+    /// than `epoch` (they are already unreachable — new fingerprints
+    /// embed the new epoch), returning how many were dropped.
+    pub fn invalidate_epochs_before(&self, epoch: u64) -> usize {
+        let mut inner = self.write();
+        let stale: Vec<PlanFingerprint> = inner
+            .plans
+            .keys()
+            .filter(|fp| fp.epoch < epoch)
+            .cloned()
+            .collect();
+        for fp in &stale {
+            if let Some(entry) = inner.plans.remove(fp) {
+                unindex(&mut inner, fp, &entry);
+            }
+        }
+        self.epoch_invalidations
+            .fetch_add(stale.len() as u64, Ordering::Relaxed);
+        stale.len()
+    }
+
+    /// Drops every entry (counted under `epoch_invalidations`).
+    pub fn clear(&self) {
+        let mut inner = self.write();
+        let n = inner.plans.len() as u64;
+        inner.plans.clear();
+        inner.by_key.clear();
+        self.epoch_invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Plans currently cached.
+    pub fn len(&self) -> usize {
+        self.read().plans.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the fingerprint is currently cached (no hit/miss
+    /// accounting — observability and tests).
+    pub fn contains(&self, fingerprint: &PlanFingerprint) -> bool {
+        self.read().plans.contains_key(fingerprint)
+    }
+
+    /// A point-in-time snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            drift_evictions: self.drift_evictions.load(Ordering::Relaxed),
+            epoch_invalidations: self.epoch_invalidations.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Removes one entry's reverse-index edges (after the entry itself has
+/// been pulled out of `plans`).
+fn unindex(inner: &mut Inner, fingerprint: &PlanFingerprint, entry: &CacheEntry) {
+    for key in entry.priced_at.keys() {
+        if let Some(set) = inner.by_key.get_mut(key) {
+            set.remove(fingerprint);
+            if set.is_empty() {
+                inner.by_key.remove(key);
+            }
+        }
+    }
+}
+
+/// q-error between two selectivities, floored so a zero estimate against
+/// a positive observation reads as maximal drift rather than NaN.
+fn q_error(a: f64, b: f64) -> f64 {
+    let a = a.max(SELECTIVITY_FLOOR);
+    let b = b.max(SELECTIVITY_FLOOR);
+    (a / b).max(b / a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::NodeAnnotation;
+    use rqo_exec::PhysicalPlan;
+    use rqo_expr::Expr;
+
+    fn threshold() -> ConfidenceThreshold {
+        ConfidenceThreshold::new(0.5)
+    }
+
+    fn query(table: &str, lt: i64) -> Query {
+        Query::over(&[table]).filter(table, Expr::col("x").lt(Expr::lit(lt)))
+    }
+
+    /// A minimal planned query with one annotated node priced at
+    /// `est_rows` out of `root_rows` for the query's own request.
+    fn planned(q: &Query, est_rows: f64, root_rows: f64) -> PlannedQuery {
+        let (table, expr) = &q.predicates[0];
+        PlannedQuery {
+            plan: PhysicalPlan::SeqScan {
+                table: table.clone(),
+                predicate: Some(expr.clone()),
+            },
+            estimated_cost_ms: est_rows,
+            estimated_rows: est_rows,
+            estimator_calls: 1,
+            node_annotations: vec![Some(NodeAnnotation {
+                est_rows,
+                root_rows,
+                tables: vec![table.clone()],
+                predicates: vec![(table.clone(), expr.clone())],
+            })],
+        }
+    }
+
+    fn key_of(q: &Query) -> String {
+        let (table, expr) = &q.predicates[0];
+        rqo_core::FeedbackStore::canonical_key(&[table], &[(table.as_str(), expr)])
+    }
+
+    #[test]
+    fn fingerprint_is_invariant_to_declaration_order() {
+        let a = Expr::col("x").lt(Expr::lit(10i64));
+        let b = Expr::col("y").gt(Expr::lit(3i64));
+        let fwd = Query::over(&["t", "u"])
+            .filter("t", a.clone())
+            .filter("u", b.clone());
+        let rev = Query::over(&["u", "t"]).filter("u", b).filter("t", a);
+        assert_eq!(
+            PlanFingerprint::of(&fwd, threshold(), 0),
+            PlanFingerprint::of(&rev, threshold(), 0)
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_threshold_epoch_hint_and_shape() {
+        let q = query("t", 10);
+        let base = PlanFingerprint::of(&q, threshold(), 0);
+        assert_ne!(
+            base,
+            PlanFingerprint::of(&q, ConfidenceThreshold::new(0.95), 0),
+            "threshold is part of the identity"
+        );
+        assert_ne!(
+            base,
+            PlanFingerprint::of(&q, threshold(), 1),
+            "statistics epoch is part of the identity"
+        );
+        let hinted = q.clone().with_hint(ConfidenceThreshold::new(0.95));
+        assert_eq!(
+            PlanFingerprint::of(&hinted, threshold(), 0),
+            PlanFingerprint::of(&q, ConfidenceThreshold::new(0.95), 0),
+            "a hint and an equal system threshold price identically"
+        );
+        assert_ne!(
+            base,
+            PlanFingerprint::of(&query("t", 11), threshold(), 0),
+            "predicate constants are part of the identity"
+        );
+    }
+
+    #[test]
+    fn get_insert_counts_hits_and_misses() {
+        let cache = PlanCache::default();
+        let q = query("t", 10);
+        let fp = PlanFingerprint::of(&q, threshold(), 0);
+        assert!(cache.get(&fp).is_none());
+        let inserted = cache.insert(fp.clone(), planned(&q, 10.0, 100.0));
+        let hit = cache.get(&fp).expect("cached");
+        assert!(Arc::ptr_eq(&inserted, &hit), "hits share the same plan");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_eviction_is_exactly_the_overlapping_fingerprints() {
+        let cache = PlanCache::default();
+        let qa = query("t", 10);
+        let qb = query("t", 99);
+        let fpa = PlanFingerprint::of(&qa, threshold(), 0);
+        let fpb = PlanFingerprint::of(&qb, threshold(), 0);
+        cache.insert(fpa.clone(), planned(&qa, 10.0, 100.0)); // priced at 0.1
+        cache.insert(fpb.clone(), planned(&qb, 50.0, 100.0)); // priced at 0.5
+
+        // In-bound observation for qa's key: nothing evicted.
+        assert!(cache.observe(&key_of(&qa), 0.15).is_empty());
+        assert_eq!(cache.len(), 2);
+
+        // Drifted observation for qa's key: only qa's fingerprint goes.
+        let evicted = cache.observe(&key_of(&qa), 0.9);
+        assert_eq!(evicted, vec![fpa.clone()]);
+        assert!(!cache.contains(&fpa) && cache.contains(&fpb));
+        assert_eq!(cache.stats().drift_evictions, 1);
+
+        // A key no cached plan was priced with is a no-op.
+        assert!(cache.observe("unknown-key", 0.5).is_empty());
+    }
+
+    #[test]
+    fn zero_estimate_drifts_against_any_positive_observation() {
+        let cache = PlanCache::default();
+        let q = query("t", 10);
+        let fp = PlanFingerprint::of(&q, threshold(), 0);
+        cache.insert(fp.clone(), planned(&q, 0.0, 100.0));
+        assert_eq!(cache.observe(&key_of(&q), 0.005), vec![fp]);
+    }
+
+    #[test]
+    fn epoch_invalidation_drops_only_older_epochs() {
+        let cache = PlanCache::default();
+        let q0 = query("t", 10);
+        let q1 = query("t", 20);
+        cache.insert(
+            PlanFingerprint::of(&q0, threshold(), 0),
+            planned(&q0, 1.0, 10.0),
+        );
+        cache.insert(
+            PlanFingerprint::of(&q1, threshold(), 1),
+            planned(&q1, 1.0, 10.0),
+        );
+        assert_eq!(cache.invalidate_epochs_before(1), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&PlanFingerprint::of(&q1, threshold(), 1)));
+        assert_eq!(cache.stats().epoch_invalidations, 1);
+
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().epoch_invalidations, 2);
+    }
+
+    #[test]
+    fn replacing_an_entry_reindexes_cleanly() {
+        let cache = PlanCache::default();
+        let q = query("t", 10);
+        let fp = PlanFingerprint::of(&q, threshold(), 0);
+        cache.insert(fp.clone(), planned(&q, 10.0, 100.0));
+        // Re-insert priced differently (e.g. re-planned with feedback).
+        cache.insert(fp.clone(), planned(&q, 20.0, 100.0));
+        assert_eq!(cache.len(), 1);
+        // Drift is judged against the *replacement* pricing.
+        assert!(cache.observe(&key_of(&q), 0.3).is_empty());
+        assert_eq!(cache.observe(&key_of(&q), 0.9), vec![fp]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a finite q-error")]
+    fn rejects_sub_unit_drift_bound() {
+        PlanCache::new(0.5);
+    }
+}

@@ -25,6 +25,7 @@ struct Args {
     seed: u64,
     threads: usize,
     explain_analyze: bool,
+    repeat: usize,
 }
 
 impl Args {
@@ -40,13 +41,14 @@ impl Args {
             seed: 7,
             threads: 1,
             explain_analyze: false,
+            repeat: 0,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         if argv.is_empty() {
             eprintln!(
                 "usage: rqo_demo <exp1|exp2|exp3> [--offset N] [--window N] [--level N] \
                  [--threshold PCT] [--scale F] [--fact-rows N] [--seed N] [--threads N] \
-                 [--explain-analyze]"
+                 [--explain-analyze] [--repeat N]"
             );
             std::process::exit(2);
         }
@@ -72,6 +74,7 @@ impl Args {
                 "--fact-rows" => args.fact_rows = value.parse().expect("--fact-rows"),
                 "--seed" => args.seed = value.parse().expect("--seed"),
                 "--threads" => args.threads = value.parse().expect("--threads"),
+                "--repeat" => args.repeat = value.parse().expect("--repeat"),
                 other => panic!("unknown flag {other:?}"),
             }
             i += 2;
@@ -174,6 +177,22 @@ fn main() {
         "\nsimulated time: {:.4}s  (optimizer estimate {:.4}s)",
         outcome.simulated_seconds, outcome.estimated_seconds
     );
+
+    // Demonstrate the plan cache on repeated traffic: re-optimize the
+    // same query and report hit/miss/eviction counters.
+    if args.repeat > 0 {
+        let start = std::time::Instant::now();
+        for _ in 0..args.repeat {
+            std::hint::black_box(db.optimize(&query));
+        }
+        let per_plan = start.elapsed().as_nanos() as f64 / args.repeat as f64;
+        println!(
+            "\nre-optimized {}× through the plan cache ({:.1}µs/plan)",
+            args.repeat,
+            per_plan / 1e3
+        );
+    }
+    println!("plan cache: {}", db.cache_stats());
 
     let (_, baseline_cost) = robust_qo::exec::execute_with(
         &baseline_plan.plan,

@@ -65,8 +65,9 @@ pub mod prelude {
     pub use crate::{AnalyzedOutcome, QueryOutcome, RobustDb};
     pub use rqo_core::{
         CardinalityEstimator, ConfidenceThreshold, DistributionalHistogramEstimator,
-        EstimationRequest, EstimatorConfig, FeedbackStore, HistogramEstimator, MagicPolicy,
-        OnTheFlyEstimator, Prior, RobustEstimator, RobustnessLevel, SelectivityPosterior,
+        EstimateSource, EstimationRequest, EstimatorConfig, FeedbackStore, HistogramEstimator,
+        MagicPolicy, OnTheFlyEstimator, Prior, RobustEstimator, RobustnessLevel,
+        SelectivityPosterior,
     };
     pub use rqo_datagen::workload::{
         exp1_lineitem_predicate, exp2_part_predicate, exp3_dim_predicate, true_selectivity,
@@ -74,6 +75,7 @@ pub mod prelude {
     pub use rqo_datagen::{StarConfig, StarData, TpchConfig, TpchData};
     pub use rqo_exec::{AggExpr, ExecOptions, OpMetrics, PhysicalPlan};
     pub use rqo_expr::Expr;
+    pub use rqo_optimizer::{CacheStats, PlanCache, PlanFingerprint};
     pub use rqo_optimizer::{Optimizer, PlannedQuery, Query};
     pub use rqo_stats::SynopsisRepository;
     pub use rqo_storage::{
@@ -87,7 +89,7 @@ use rqo_core::{
     ConfidenceThreshold, EstimatorConfig, FeedbackStore, RobustEstimator, RobustnessLevel,
 };
 use rqo_exec::{Batch, ExecOptions, OpMetrics, PhysicalPlan};
-use rqo_optimizer::{Optimizer, Query};
+use rqo_optimizer::{CacheStats, Optimizer, PlanCache, PlanFingerprint, PlannedQuery, Query};
 use rqo_stats::SynopsisRepository;
 use rqo_storage::{Catalog, CostParams, Value};
 
@@ -144,6 +146,7 @@ pub struct RobustDb {
     seed: u64,
     exec_options: ExecOptions,
     feedback: Arc<FeedbackStore>,
+    plan_cache: Arc<PlanCache>,
 }
 
 impl RobustDb {
@@ -172,6 +175,7 @@ impl RobustDb {
             seed,
             exec_options: ExecOptions::default(),
             feedback: Arc::new(FeedbackStore::new()),
+            plan_cache: Arc::new(PlanCache::default()),
         }
     }
 
@@ -197,9 +201,24 @@ impl RobustDb {
         self
     }
 
+    /// Sets the plan cache's drift bound: a cached plan is evicted when
+    /// an `EXPLAIN ANALYZE` run observes a selectivity whose q-error
+    /// against the selectivity the plan was priced at exceeds `bound`.
+    /// Resets the cache (the bound is part of its construction).
+    pub fn with_drift_bound(mut self, bound: f64) -> Self {
+        self.plan_cache = Arc::new(PlanCache::new(bound));
+        self
+    }
+
     /// Re-draws the precomputed samples (the `UPDATE STATISTICS`
     /// analogue), e.g. after bulk catalog changes or to average over
     /// sampling randomness.
+    ///
+    /// Advances the statistics epoch, which invalidates everything the
+    /// old statistics justified: recorded feedback observations (they
+    /// were measured against the old data shape and must not override
+    /// fresh samples) and cached plans (their fingerprints embed the old
+    /// epoch, and the stale entries are eagerly dropped).
     pub fn refresh_statistics(&mut self, seed: u64) {
         self.seed = seed;
         self.synopses = Arc::new(SynopsisRepository::build_all(
@@ -207,6 +226,14 @@ impl RobustDb {
             self.sample_size,
             seed,
         ));
+        let epoch = self.feedback.advance_epoch();
+        self.plan_cache.invalidate_epochs_before(epoch);
+    }
+
+    /// The current statistics epoch: 0 at construction, bumped by every
+    /// [`refresh_statistics`](Self::refresh_statistics).
+    pub fn stats_epoch(&self) -> u64 {
+        self.feedback.epoch()
     }
 
     /// The underlying catalog.
@@ -228,6 +255,16 @@ impl RobustDb {
         &self.feedback
     }
 
+    /// The shared plan cache.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// A point-in-time snapshot of the plan cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
     /// An optimizer bound to this database's statistics, threshold, and
     /// feedback store.
     pub fn optimizer(&self) -> Optimizer {
@@ -239,10 +276,34 @@ impl RobustDb {
         Optimizer::new(Arc::clone(&self.catalog), self.params, Arc::new(est))
     }
 
-    /// Optimizes and executes a query, returning rows plus the simulated
-    /// cost.
-    pub fn run(&self, query: &Query) -> QueryOutcome {
+    /// The fingerprint under which this database would cache a query's
+    /// plan right now: canonical query form × effective confidence
+    /// threshold (hint included) × current statistics epoch.
+    pub fn fingerprint(&self, query: &Query) -> PlanFingerprint {
+        PlanFingerprint::of(query, self.threshold, self.feedback.epoch())
+    }
+
+    /// Optimizes a query through the shared plan cache: a hit returns
+    /// the memoized plan (one read-lock acquisition, no enumeration); a
+    /// miss plans fresh and caches the result.
+    ///
+    /// Cached plans are *bit-identical* to freshly planned ones —
+    /// planning is deterministic given statistics, threshold, and
+    /// feedback, and all three are pinned by the fingerprint plus the
+    /// drift/epoch invalidation rules.
+    pub fn optimize(&self, query: &Query) -> Arc<PlannedQuery> {
+        let fingerprint = self.fingerprint(query);
+        if let Some(planned) = self.plan_cache.get(&fingerprint) {
+            return planned;
+        }
         let planned = self.optimizer().optimize(query);
+        self.plan_cache.insert(fingerprint, planned)
+    }
+
+    /// Optimizes (through the plan cache) and executes a query,
+    /// returning rows plus the simulated cost.
+    pub fn run(&self, query: &Query) -> QueryOutcome {
+        let planned = self.optimize(query);
         let (batch, cost) = rqo_exec::execute_with(
             &planned.plan,
             &self.catalog,
@@ -251,7 +312,7 @@ impl RobustDb {
         );
         let Batch { schema, rows } = batch;
         QueryOutcome {
-            plan: planned.plan,
+            plan: planned.plan.clone(),
             columns: schema.names().iter().map(|s| s.to_string()).collect(),
             rows,
             simulated_seconds: cost.seconds(&self.params),
@@ -268,8 +329,17 @@ impl RobustDb {
     /// selectivity is recorded in [`feedback`](Self::feedback), so
     /// re-optimizing the same (or an overlapping) query afterwards uses
     /// the true selectivities in place of sample-based estimates.
+    ///
+    /// `EXPLAIN ANALYZE` always plans fresh (its estimates must reflect
+    /// the statistics and feedback of *this* moment, not a memo), caches
+    /// the fresh plan, and feeds every observation through the plan
+    /// cache's drift check: cached plans priced at selectivities whose
+    /// q-error against the observation exceeds the drift bound are
+    /// evicted, so the next [`run`](Self::run) re-plans with feedback.
     pub fn explain_analyze(&self, query: &Query) -> AnalyzedOutcome {
-        let planned = self.optimizer().optimize(query);
+        let planned = self
+            .plan_cache
+            .insert(self.fingerprint(query), self.optimizer().optimize(query));
         let (batch, cost, mut metrics) = rqo_exec::execute_analyze(
             &planned.plan,
             &self.catalog,
@@ -287,7 +357,11 @@ impl RobustDb {
             if ann.predicates.is_empty() || ann.root_rows <= 0.0 {
                 continue;
             }
-            let observed = (node.rows_out as f64 / ann.root_rows).clamp(0.0, 1.0);
+            // Floor at half a tuple: a zero-row result is evidence the
+            // selectivity is *small*, not that it is exactly 0.0 — a
+            // pinned zero would price every later plan for this
+            // predicate at zero cardinality forever.
+            let observed = ((node.rows_out as f64).max(0.5) / ann.root_rows).clamp(0.0, 1.0);
             let tables: Vec<&str> = ann.tables.iter().map(String::as_str).collect();
             let predicates: Vec<_> = ann
                 .predicates
@@ -295,12 +369,14 @@ impl RobustDb {
                 .map(|(t, e)| (t.as_str(), e))
                 .collect();
             self.feedback.record(&tables, &predicates, observed);
+            let key = FeedbackStore::canonical_key(&tables, &predicates);
+            self.plan_cache.observe(&key, observed);
         }
 
         let Batch { schema, rows } = batch;
         AnalyzedOutcome {
             outcome: QueryOutcome {
-                plan: planned.plan,
+                plan: planned.plan.clone(),
                 columns: schema.names().iter().map(|s| s.to_string()).collect(),
                 rows,
                 simulated_seconds: cost.seconds(&self.params),

@@ -1,0 +1,255 @@
+//! Plan-cache correctness and statistics-lifecycle regression tests.
+//!
+//! Three properties are pinned:
+//!
+//! 1. **Bit-identity** — a cache hit returns exactly the plan fresh
+//!    planning would produce (same plan tree, same cost bits), at any
+//!    thread count.
+//! 2. **Drift invalidation** — an `EXPLAIN ANALYZE` run whose observed
+//!    selectivities drift past the bound evicts exactly the overlapping
+//!    fingerprints; disjoint cached plans survive.
+//! 3. **Statistics lifecycle** — `refresh_statistics` advances the epoch,
+//!    clears feedback (stale observations must not override fresh
+//!    samples), and invalidates cached plans; a zero-row observation is
+//!    floored at half a tuple instead of pinning the selectivity to 0.0.
+
+use std::sync::Arc;
+
+use robust_qo::prelude::*;
+
+const SEED: u64 = 42;
+
+fn tpch_db() -> RobustDb {
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.005,
+        seed: SEED,
+    });
+    RobustDb::with_options(data.into_catalog(), CostParams::default(), 500, SEED)
+}
+
+fn exp1_query(offset: i64) -> Query {
+    Query::over(&["lineitem"])
+        .filter("lineitem", exp1_lineitem_predicate(offset))
+        .aggregate(AggExpr::sum("l_extendedprice", "revenue"))
+}
+
+/// Asserts two planned queries are bit-identical: same plan tree, same
+/// cost/cardinality estimate bits.
+fn assert_plans_bit_identical(a: &PlannedQuery, b: &PlannedQuery, context: &str) {
+    assert_eq!(a.plan, b.plan, "{context}: plan trees differ");
+    assert_eq!(
+        a.estimated_cost_ms.to_bits(),
+        b.estimated_cost_ms.to_bits(),
+        "{context}: estimated cost differs"
+    );
+    assert_eq!(
+        a.estimated_rows.to_bits(),
+        b.estimated_rows.to_bits(),
+        "{context}: estimated rows differ"
+    );
+}
+
+use robust_qo::optimizer::PlannedQuery;
+
+#[test]
+fn warm_hits_are_bit_identical_across_thread_counts() {
+    let db = tpch_db();
+    let queries: Vec<Query> = [0i64, 30, 60, 110].into_iter().map(exp1_query).collect();
+
+    // Reference: fresh, uncached planning.
+    let fresh: Vec<PlannedQuery> = queries.iter().map(|q| db.optimizer().optimize(q)).collect();
+
+    // Warm the cache once, then hammer it from 1, 2, and 8 threads.
+    for q in &queries {
+        db.optimize(q);
+    }
+    for threads in [1usize, 2, 8] {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for (q, reference) in queries.iter().zip(&fresh) {
+                        let cached = db.optimize(q);
+                        assert_plans_bit_identical(
+                            &cached,
+                            reference,
+                            &format!("{threads} threads"),
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    let stats = db.cache_stats();
+    assert_eq!(stats.entries, queries.len());
+    assert_eq!(stats.misses, queries.len() as u64, "one miss per query");
+    // Warm pass + (1 + 2 + 8) threaded passes, all hits.
+    assert_eq!(stats.hits, 11 * queries.len() as u64);
+    assert_eq!(stats.drift_evictions, 0);
+}
+
+#[test]
+fn cache_hit_shares_the_memoized_plan() {
+    let db = tpch_db();
+    let q = exp1_query(30);
+    let first = db.optimize(&q);
+    let second = db.optimize(&q);
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "a hit returns the same shared plan, not a re-plan"
+    );
+    // Construction order must not defeat the fingerprint.
+    let reordered = Query::over(&["lineitem"])
+        .filter("lineitem", exp1_lineitem_predicate(30))
+        .aggregate(AggExpr::sum("l_extendedprice", "revenue"));
+    assert!(Arc::ptr_eq(&first, &db.optimize(&reordered)));
+    assert_eq!(db.cache_stats().hits, 2);
+}
+
+#[test]
+fn drift_evicts_exactly_the_overlapping_fingerprints() {
+    // A conservative threshold badly inflates the estimate for the
+    // near-empty offset-110 window, so its observed selectivity drifts
+    // far past the bound; the offset-30 query's fingerprint shares no
+    // estimation-request key and must survive.
+    let db = tpch_db().with_threshold(ConfidenceThreshold::new(0.95));
+    let drifting = exp1_query(110);
+    let bystander = exp1_query(30);
+
+    db.run(&drifting);
+    db.run(&bystander);
+    assert_eq!(db.cache_stats().entries, 2);
+
+    let analyzed = db.explain_analyze(&drifting);
+    assert!(!analyzed.outcome.rows.is_empty());
+    let stats = db.cache_stats();
+    assert!(
+        stats.drift_evictions >= 1,
+        "observed drift must evict, stats: {stats}"
+    );
+    assert!(
+        !db.plan_cache().contains(&db.fingerprint(&drifting)),
+        "the drifting query's fingerprint is gone"
+    );
+    assert!(
+        db.plan_cache().contains(&db.fingerprint(&bystander)),
+        "the disjoint query's fingerprint survives"
+    );
+
+    // The next optimization re-plans with feedback in effect: its
+    // estimate now equals the observed cardinality.
+    let replanned = db.optimize(&drifting);
+    let re = db.explain_analyze(&drifting);
+    for node in re.metrics.preorder() {
+        if let Some(q) = node.q_error() {
+            assert!(
+                q <= 1.0 + 1e-6,
+                "post-eviction re-plan must price at observed selectivities, q={q}"
+            );
+        }
+    }
+    drop(replanned);
+}
+
+#[test]
+fn refresh_statistics_clears_stale_feedback() {
+    // Regression (stale-feedback bug): feedback observed against the old
+    // statistics survived `refresh_statistics`, so re-optimization kept
+    // overriding fresh samples with stale selectivities forever.
+    let mut db = tpch_db();
+    let q = exp1_query(110);
+    let pred = exp1_lineitem_predicate(110);
+    let request = EstimationRequest::single("lineitem", &pred);
+
+    db.explain_analyze(&q);
+    assert!(!db.feedback().is_empty());
+    {
+        let opt = db.optimizer();
+        assert!(
+            matches!(
+                opt.estimator().estimate(&request).source,
+                EstimateSource::Feedback
+            ),
+            "after EXPLAIN ANALYZE the estimate comes from feedback"
+        );
+    }
+    assert_eq!(db.stats_epoch(), 0);
+
+    db.refresh_statistics(999);
+
+    assert_eq!(db.stats_epoch(), 1);
+    assert!(
+        db.feedback().is_empty(),
+        "refresh must drop observations measured against the old statistics"
+    );
+    assert!(
+        db.plan_cache().is_empty(),
+        "refresh must invalidate cached plans"
+    );
+    let opt = db.optimizer();
+    let source = opt.estimator().estimate(&request).source;
+    assert!(
+        matches!(source, EstimateSource::JoinSynopsis { .. }),
+        "after refresh the estimate reverts to the synopsis, got {source:?}"
+    );
+}
+
+#[test]
+fn refreshed_epoch_never_serves_pre_refresh_plans() {
+    let mut db = tpch_db();
+    let q = exp1_query(30);
+    let before = db.fingerprint(&q);
+    db.optimize(&q);
+    db.refresh_statistics(7);
+    assert_ne!(before, db.fingerprint(&q), "epoch is part of the identity");
+    db.optimize(&q);
+    let stats = db.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (0, 2),
+        "both passes plan fresh across a refresh"
+    );
+}
+
+#[test]
+fn zero_row_observation_does_not_pin_selectivity() {
+    // Regression (zero-pinning bug): `rows_out / root_rows` for an empty
+    // result recorded exactly 0.0, and every later plan for the predicate
+    // was priced at zero cardinality.  The recorded observation is now
+    // floored at half a tuple.
+    let db = tpch_db();
+    // l_quantity is generated in [1, 50], so this matches nothing.
+    let empty_pred = Expr::col("l_quantity").lt(Expr::lit(1.0));
+    let q = Query::over(&["lineitem"])
+        .filter("lineitem", empty_pred.clone())
+        .aggregate(AggExpr::count_star("n"));
+
+    let analyzed = db.explain_analyze(&q);
+    assert_eq!(
+        analyzed.outcome.rows[0][0].as_int(),
+        0,
+        "the query really matches zero rows"
+    );
+
+    let observed = db
+        .feedback()
+        .lookup(&["lineitem"], &[("lineitem", &empty_pred)])
+        .expect("observation recorded");
+    assert!(
+        observed > 0.0,
+        "zero-row run must not record selectivity 0.0"
+    );
+
+    let rows = db.catalog().table("lineitem").unwrap().num_rows() as f64;
+    assert!(
+        (observed - 0.5 / rows).abs() < 1e-12,
+        "observation floored at half a tuple, got {observed}"
+    );
+
+    // Re-optimization prices the predicate at the floor, not at zero.
+    let replanned = db.optimizer().optimize(&q);
+    assert!(
+        replanned.estimated_rows > 0.0,
+        "feedback must not zero out later cardinality estimates"
+    );
+}

@@ -117,6 +117,23 @@ impl FeedbackStore {
         self.guard().insert(key, selectivity.clamp(0.0, 1.0))
     }
 
+    /// Seeds an observation that was **not** measured by this system —
+    /// a test fixture, a simulation of stale statistics, or an import
+    /// from an external monitor.  Behaviourally identical to
+    /// [`record`](Self::record) (clamped, overwriting); the separate
+    /// name exists so production call sites greppably contain only
+    /// `record` and injected values are easy to audit.  Tests use it to
+    /// plant a wildly wrong selectivity and prove the adaptive guards
+    /// catch it.
+    pub fn inject_observation(
+        &self,
+        tables: &[&str],
+        predicates: &[(&str, &Expr)],
+        selectivity: f64,
+    ) -> Option<f64> {
+        self.record(tables, predicates, selectivity)
+    }
+
     /// Returns the observed selectivity for this request, if any.
     pub fn lookup(&self, tables: &[&str], predicates: &[(&str, &Expr)]) -> Option<f64> {
         let key = Self::canonical_key(tables, predicates);

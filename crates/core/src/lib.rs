@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod confidence;
 pub mod config;
 pub mod estimator;
@@ -44,6 +45,7 @@ pub mod onthefly;
 pub mod posterior;
 pub mod prior;
 
+pub use adaptive::{AdaptivePolicy, DEFAULT_GUARD_BOUND};
 pub use confidence::{cost_at_threshold, ConfidenceThreshold, RobustnessLevel};
 pub use config::{EstimationStrategy, EstimatorConfig};
 pub use estimator::{

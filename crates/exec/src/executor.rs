@@ -4,6 +4,7 @@ use std::time::Instant;
 
 use rqo_storage::{Catalog, CostParams, CostTracker};
 
+use crate::adaptive::{GuardTrip, RowGuard};
 use crate::agg::{hash_aggregate, hash_aggregate_par};
 use crate::batch::Batch;
 use crate::join::{
@@ -63,19 +64,58 @@ pub fn execute_analyze(
     opts: &ExecOptions,
 ) -> (Batch, CostTracker, OpMetrics) {
     let mut tracker = CostTracker::new();
-    let (batch, metrics) = run(plan, catalog, params, &mut tracker, opts);
+    let (batch, metrics) = run_guarded(plan, catalog, params, &mut tracker, opts, &[], &[])
+        .unwrap_or_else(|_| unreachable!("no guards armed"));
     (batch, tracker, metrics)
 }
 
-fn run(
+/// Everything the recursive interpreter reads but never mutates.
+struct Env<'a> {
+    catalog: &'a Catalog,
+    params: &'a CostParams,
+    opts: &'a ExecOptions,
+    /// Armed cardinality guards, looked up by pre-order node index.
+    guards: &'a [RowGuard],
+    /// Bound intermediates for `Materialized` leaves, by slot.
+    slots: &'a [Batch],
+}
+
+/// The guarded interpreter entry point (used by
+/// [`crate::adaptive::execute_guarded`]): runs the plan, accumulating
+/// cost into `tracker`, and stops with a [`GuardTrip`] at the first
+/// guard whose actual output cardinality violates its bound.  Guard
+/// checks happen in execution order, so the first trip is deterministic
+/// at every thread count.
+pub(crate) fn run_guarded(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     params: &CostParams,
     tracker: &mut CostTracker,
     opts: &ExecOptions,
-) -> (Batch, OpMetrics) {
+    guards: &[RowGuard],
+    slots: &[Batch],
+) -> Result<(Batch, OpMetrics), Box<GuardTrip>> {
+    let env = Env {
+        catalog,
+        params,
+        opts,
+        guards,
+        slots,
+    };
+    run(plan, &env, tracker, &mut 0)
+}
+
+fn run(
+    plan: &PhysicalPlan,
+    env: &Env<'_>,
+    tracker: &mut CostTracker,
+    counter: &mut usize,
+) -> Result<(Batch, OpMetrics), Box<GuardTrip>> {
+    let my_idx = *counter;
+    *counter += 1;
     let start = Instant::now();
     let before = *tracker;
+    let (catalog, params, opts) = (env.catalog, env.params, env.opts);
     let parallel = opts.is_parallel();
     // Each arm yields the output batch plus the metric ingredients that
     // are only visible here: rows consumed, morsel count (computed from
@@ -123,7 +163,7 @@ fn run(
             (batch, fetched as u64, opts.morsel_count(fetched), 0, vec![])
         }
         PhysicalPlan::Filter { input, predicate } => {
-            let (batch, child) = run(input, catalog, params, tracker, opts);
+            let (batch, child) = run(input, env, tracker, counter)?;
             let n = batch.len();
             let bound = predicate.bind(&batch.schema).expect("filter binds");
             tracker.charge_cpu_ops(n as u64);
@@ -147,7 +187,7 @@ fn run(
             (out, n as u64, opts.morsel_count(n), 0, vec![child])
         }
         PhysicalPlan::Project { input, columns } => {
-            let (batch, child) = run(input, catalog, params, tracker, opts);
+            let (batch, child) = run(input, env, tracker, counter)?;
             let n = batch.len();
             let ordinals: Vec<usize> = columns
                 .iter()
@@ -179,8 +219,8 @@ fn run(
             build_key,
             probe_key,
         } => {
-            let (b, mb) = run(build, catalog, params, tracker, opts);
-            let (p, mp) = run(probe, catalog, params, tracker, opts);
+            let (b, mb) = run(build, env, tracker, counter)?;
+            let (p, mp) = run(probe, env, tracker, counter)?;
             let (build_len, probe_len) = (b.len(), p.len());
             let out = if parallel {
                 hash_join_par(tracker, b, p, build_key, probe_key, opts)
@@ -201,8 +241,8 @@ fn run(
             left_key,
             right_key,
         } => {
-            let (l, ml) = run(left, catalog, params, tracker, opts);
-            let (r, mr) = run(right, catalog, params, tracker, opts);
+            let (l, ml) = run(left, env, tracker, counter)?;
+            let (r, mr) = run(right, env, tracker, counter)?;
             let rows_in = (l.len() + r.len()) as u64;
             let out = merge_join(tracker, l, r, left_key, right_key);
             (out, rows_in, 0, 0, vec![ml, mr])
@@ -213,7 +253,7 @@ fn run(
             inner_index_column,
             outer_key,
         } => {
-            let (o, mo) = run(outer, catalog, params, tracker, opts);
+            let (o, mo) = run(outer, env, tracker, counter)?;
             let outer_len = o.len();
             let out = if parallel {
                 indexed_nl_join_par(
@@ -255,7 +295,7 @@ fn run(
             group_by,
             aggregates,
         } => {
-            let (batch, child) = run(input, catalog, params, tracker, opts);
+            let (batch, child) = run(input, env, tracker, counter)?;
             let n = batch.len();
             let out = if parallel {
                 hash_aggregate_par(tracker, batch, group_by, aggregates, opts)
@@ -271,6 +311,18 @@ fn run(
             };
             (out, n as u64, opts.morsel_count(n), peak, vec![child])
         }
+        PhysicalPlan::Materialized { slot, .. } => {
+            // The work that produced this batch was charged when it
+            // originally ran (before the re-plan); serving it again from
+            // memory is free, so the adaptive total never double-counts.
+            let batch = env
+                .slots
+                .get(*slot)
+                .unwrap_or_else(|| panic!("Materialized slot {slot} is not bound"))
+                .clone();
+            let n = batch.len();
+            (batch, n as u64, opts.morsel_count(n), 0, vec![])
+        }
     };
     let metrics = OpMetrics {
         label: plan.node_label(),
@@ -283,7 +335,22 @@ fn run(
         cost: tracker.diff(&before),
         children,
     };
-    (batch, metrics)
+    // Guard check at the pipeline breaker: the node's output is fully
+    // materialized, so `rows_out` is exact and identical at every thread
+    // count.
+    if let Some(guard) = env.guards.iter().find(|g| g.node == my_idx) {
+        if guard.trips(metrics.rows_out) {
+            return Err(Box::new(GuardTrip {
+                node: my_idx,
+                est_rows: guard.est_rows,
+                actual_rows: metrics.rows_out,
+                q_error: crate::adaptive::q_error(guard.est_rows, metrics.rows_out as f64),
+                batch,
+                metrics,
+            }));
+        }
+    }
+    Ok((batch, metrics))
 }
 
 #[cfg(test)]

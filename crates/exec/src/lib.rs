@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod agg;
 pub mod batch;
 pub mod executor;
@@ -41,6 +42,7 @@ pub mod morsel;
 pub mod plan;
 pub mod scan;
 
+pub use adaptive::{execute_guarded, guard_points, q_error, ExecStatus, GuardTrip, RowGuard};
 pub use batch::Batch;
 pub use executor::{execute, execute_analyze, execute_with};
 pub use metrics::OpMetrics;

@@ -229,6 +229,21 @@ pub enum PhysicalPlan {
         /// Aggregates.
         aggregates: Vec<AggExpr>,
     },
+    /// An already-materialized intermediate, bound at execution time to a
+    /// batch produced *before* an adaptive re-plan paused the pipeline.
+    /// The executor serves the batch from its slot table without
+    /// re-charging the work that produced it; `tables`/`predicates`
+    /// record what the replaced subtree covered so the optimizer can
+    /// still annotate the node and its ancestors.
+    Materialized {
+        /// Index into the executor's bound-intermediates table.
+        slot: usize,
+        /// Tables the materialized subtree covered.
+        tables: Vec<String>,
+        /// Query predicates the materialized subtree applied, as
+        /// `(table, expr)` pairs.
+        predicates: Vec<(String, Expr)>,
+    },
 }
 
 impl PhysicalPlan {
@@ -298,6 +313,9 @@ impl PhysicalPlan {
                     aggs.join(", ")
                 )
             }
+            PhysicalPlan::Materialized { slot, tables, .. } => {
+                format!("Materialized #{slot} [{}]", tables.join(", "))
+            }
         }
     }
 
@@ -310,7 +328,8 @@ impl PhysicalPlan {
             PhysicalPlan::SeqScan { .. }
             | PhysicalPlan::IndexSeek { .. }
             | PhysicalPlan::IndexIntersection { .. }
-            | PhysicalPlan::StarSemiJoin { .. } => vec![],
+            | PhysicalPlan::StarSemiJoin { .. }
+            | PhysicalPlan::Materialized { .. } => vec![],
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::HashAggregate { input, .. } => vec![input],
@@ -318,6 +337,59 @@ impl PhysicalPlan {
             PhysicalPlan::MergeJoin { left, right, .. } => vec![left, right],
             PhysicalPlan::IndexedNlJoin { outer, .. } => vec![outer],
         }
+    }
+
+    /// Mutable counterpart of [`children`](Self::children), in the same
+    /// execution order — used by [`replace_subtree`](Self::replace_subtree)
+    /// so the mutable walk visits nodes under the canonical pre-order
+    /// numbering.
+    fn children_mut(&mut self) -> Vec<&mut PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::IndexSeek { .. }
+            | PhysicalPlan::IndexIntersection { .. }
+            | PhysicalPlan::StarSemiJoin { .. }
+            | PhysicalPlan::Materialized { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. } => vec![input],
+            PhysicalPlan::HashJoin { build, probe, .. } => vec![build, probe],
+            PhysicalPlan::MergeJoin { left, right, .. } => vec![left, right],
+            PhysicalPlan::IndexedNlJoin { outer, .. } => vec![outer],
+        }
+    }
+
+    /// Returns a copy of the tree with the subtree at pre-order index
+    /// `target` (node before children, children in execution order — the
+    /// numbering shared with `OpMetrics` and the optimizer's annotations)
+    /// replaced by `replacement`, or `None` when `target` is out of
+    /// range.  This is the surgery an adaptive re-plan performs to graft
+    /// a [`PhysicalPlan::Materialized`] leaf over the already-executed
+    /// fragment.
+    pub fn replace_subtree(
+        &self,
+        target: usize,
+        replacement: PhysicalPlan,
+    ) -> Option<PhysicalPlan> {
+        fn walk(
+            node: &mut PhysicalPlan,
+            counter: &mut usize,
+            target: usize,
+            r: &mut Option<PhysicalPlan>,
+        ) -> bool {
+            let my = *counter;
+            *counter += 1;
+            if my == target {
+                *node = r.take().expect("replacement consumed once");
+                return true;
+            }
+            node.children_mut()
+                .into_iter()
+                .any(|child| walk(child, counter, target, r))
+        }
+        let mut out = self.clone();
+        let mut replacement = Some(replacement);
+        walk(&mut out, &mut 0, target, &mut replacement).then_some(out)
     }
 
     /// A short label identifying the plan's shape (used by the experiment
@@ -343,6 +415,7 @@ impl PhysicalPlan {
             }
             PhysicalPlan::StarSemiJoin { legs, .. } => format!("semijoin[{}]", legs.len()),
             PhysicalPlan::HashAggregate { input, .. } => format!("agg({})", input.shape_label()),
+            PhysicalPlan::Materialized { slot, .. } => format!("mat#{slot}"),
         }
     }
 
@@ -353,7 +426,8 @@ impl PhysicalPlan {
             PhysicalPlan::SeqScan { .. }
             | PhysicalPlan::IndexSeek { .. }
             | PhysicalPlan::IndexIntersection { .. }
-            | PhysicalPlan::StarSemiJoin { .. } => 0,
+            | PhysicalPlan::StarSemiJoin { .. }
+            | PhysicalPlan::Materialized { .. } => 0,
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::HashAggregate { input, .. } => input.node_count(),

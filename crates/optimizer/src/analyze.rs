@@ -162,6 +162,17 @@ fn walk(
             spec.tables.push(inner_table.clone());
             spec
         }
+        // A materialized intermediate carries the spec of the subtree it
+        // replaced, so re-annotating a grafted plan re-derives the same
+        // requests — and the estimator, primed with the observed feedback
+        // for those keys, now answers with the truth.
+        PhysicalPlan::Materialized {
+            tables, predicates, ..
+        } => Spec {
+            tables: tables.clone(),
+            predicates: predicates.clone(),
+            known: true,
+        },
         PhysicalPlan::StarSemiJoin { fact_table, legs } => Spec {
             tables: std::iter::once(fact_table.clone())
                 .chain(legs.iter().map(|l| l.dim_table.clone()))

@@ -34,9 +34,11 @@ pub mod cost;
 pub mod enumerate;
 pub mod planner;
 pub mod query;
+pub mod replan;
 
 pub use analyze::{annotate_plan, NodeAnnotation, NodeAnnotations};
 pub use cache::{CacheStats, PlanCache, PlanFingerprint, DEFAULT_DRIFT_BOUND};
 pub use cost::CostModel;
 pub use planner::{detect_sorted_columns, Optimizer, PlannedQuery};
 pub use query::Query;
+pub use replan::MaterializedFragment;

@@ -1,0 +1,198 @@
+//! Mid-query re-optimization: planning the remainder of a query against
+//! an already-materialized intermediate.
+//!
+//! When a runtime cardinality guard trips at a pipeline breaker, the
+//! adaptive driver (`RobustDb::run_adaptive`) has three things in hand:
+//! the materialized batch, the `(tables, predicates)` spec of the subtree
+//! that produced it (from the tripped node's [`NodeAnnotation`]), and a
+//! feedback store that now records the *observed* selectivities for that
+//! spec.  [`Optimizer::replan_with_materialized`] turns those into a
+//! resumable plan:
+//!
+//! 1. re-optimize the **full** query — the estimator, primed with the
+//!    fed-back truth, no longer repeats the misestimate, and the search
+//!    is free to restructure everything downstream of the breaker;
+//! 2. find the node of the fresh plan whose derived estimation request
+//!    matches the finished fragment's spec (canonical-key comparison,
+//!    the same keying the feedback store uses);
+//! 3. graft a [`PhysicalPlan::Materialized`] leaf over that subtree, so
+//!    the finished work is served from memory instead of recomputed.
+//!
+//! Step 2 can legitimately fail: the fresh plan may have absorbed the
+//! fragment's tables into a shape with no matching subtree (e.g. the
+//! table became the *inner* of an indexed nested-loops join).  In that
+//! case the un-grafted plan is returned and the caller simply re-executes
+//! it from scratch — correctness never depends on the graft, only the
+//! cost saving does.
+
+use rqo_core::{CardinalityEstimator, FeedbackStore};
+use rqo_exec::PhysicalPlan;
+use rqo_expr::Expr;
+
+use crate::analyze::{annotate_plan, NodeAnnotation};
+use crate::planner::{Optimizer, PlannedQuery};
+use crate::query::Query;
+
+/// A finished, materialized query fragment: the spec of the subtree whose
+/// output is already in memory, and the slot its batch is bound to at
+/// execution time.
+#[derive(Debug, Clone)]
+pub struct MaterializedFragment {
+    /// Tables the fragment covers.
+    pub tables: Vec<String>,
+    /// Query predicates applied within the fragment.
+    pub predicates: Vec<(String, Expr)>,
+    /// Executor slot the fragment's batch is bound to.
+    pub slot: usize,
+}
+
+impl MaterializedFragment {
+    /// Builds a fragment from the tripped node's annotation and the slot
+    /// its batch will occupy.
+    pub fn from_annotation(annotation: &NodeAnnotation, slot: usize) -> Self {
+        Self {
+            tables: annotation.tables.clone(),
+            predicates: annotation.predicates.clone(),
+            slot,
+        }
+    }
+
+    /// The fragment's canonical estimation-request key — the identity
+    /// used to find the matching subtree in a fresh plan.
+    pub fn key(&self) -> String {
+        spec_key(&self.tables, &self.predicates)
+    }
+}
+
+/// Canonical key of a `(tables, predicates)` spec, identical to the
+/// feedback store's keying so fragment matching and feedback recording
+/// agree on what "the same subtree" means.
+fn spec_key(tables: &[String], predicates: &[(String, Expr)]) -> String {
+    let t: Vec<&str> = tables.iter().map(String::as_str).collect();
+    let p: Vec<(&str, &Expr)> = predicates.iter().map(|(t, e)| (t.as_str(), e)).collect();
+    FeedbackStore::canonical_key(&t, &p)
+}
+
+impl Optimizer {
+    /// Re-optimizes `query` and grafts a [`PhysicalPlan::Materialized`]
+    /// leaf over the subtree matching `fragment`, returning the planned
+    /// query and whether the graft happened.
+    ///
+    /// The returned plan is always executable; when the flag is `false`
+    /// no subtree of the fresh plan matched the fragment's spec and the
+    /// plan recomputes everything (correct, just not resumed).
+    pub fn replan_with_materialized(
+        &self,
+        query: &Query,
+        fragment: &MaterializedFragment,
+    ) -> (PlannedQuery, bool) {
+        let mut planned = self.optimize(query);
+        let target_key = fragment.key();
+        // First pre-order match = shallowest = the largest finished
+        // subtree the fresh plan can reuse.
+        let target = planned
+            .node_annotations
+            .iter()
+            .enumerate()
+            .find_map(|(idx, ann)| {
+                let ann = ann.as_ref()?;
+                if ann.tables.is_empty() {
+                    // Value-only annotations (aggregates) have no spec.
+                    return None;
+                }
+                (spec_key(&ann.tables, &ann.predicates) == target_key).then_some(idx)
+            });
+        let Some(idx) = target else {
+            return (planned, false);
+        };
+        let leaf = PhysicalPlan::Materialized {
+            slot: fragment.slot,
+            tables: fragment.tables.clone(),
+            predicates: fragment.predicates.clone(),
+        };
+        let Some(plan) = planned.plan.replace_subtree(idx, leaf) else {
+            return (planned, false);
+        };
+        // Re-derive annotations for the grafted shape with the same
+        // (possibly hinted) estimator that planned it, so downstream
+        // guard arming and metric annotation stay aligned node-for-node.
+        let hinted;
+        let estimator: &dyn CardinalityEstimator = match query.hint {
+            Some(t) => match self.estimator().hinted(t) {
+                Some(h) => {
+                    hinted = h;
+                    hinted.as_ref()
+                }
+                None => self.estimator().as_ref(),
+            },
+            None => self.estimator().as_ref(),
+        };
+        planned.node_annotations = annotate_plan(self.catalog(), estimator, query, &plan);
+        planned.plan = plan;
+        (planned, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqo_core::OracleEstimator;
+    use rqo_datagen::{workload, TpchConfig, TpchData};
+    use rqo_exec::AggExpr;
+    use rqo_storage::{Catalog, CostParams};
+    use std::sync::Arc;
+
+    fn oracle_optimizer() -> Optimizer {
+        let cat: Arc<Catalog> = Arc::new(
+            TpchData::generate(&TpchConfig {
+                scale_factor: 0.005,
+                seed: 42,
+            })
+            .into_catalog(),
+        );
+        let est = OracleEstimator::new(Arc::clone(&cat));
+        Optimizer::new(cat, CostParams::default(), Arc::new(est))
+    }
+
+    #[test]
+    fn graft_replaces_matching_subtree() {
+        let opt = oracle_optimizer();
+        let pred = workload::exp1_lineitem_predicate(50);
+        let query = Query::over(&["lineitem"])
+            .filter("lineitem", pred.clone())
+            .aggregate(AggExpr::count_star("n"));
+        let fragment = MaterializedFragment {
+            tables: vec!["lineitem".into()],
+            predicates: vec![("lineitem".into(), pred)],
+            slot: 0,
+        };
+        let (planned, substituted) = opt.replan_with_materialized(&query, &fragment);
+        assert!(substituted);
+        assert_eq!(planned.shape(), "agg(mat#0)");
+        assert_eq!(
+            planned.node_annotations.len(),
+            planned.plan.node_count(),
+            "annotations re-derived for the grafted shape"
+        );
+        // The materialized leaf keeps its spec annotation.
+        let leaf = planned.node_annotations[1].as_ref().expect("leaf spec");
+        assert_eq!(leaf.tables, vec!["lineitem".to_string()]);
+    }
+
+    #[test]
+    fn unmatched_fragment_returns_plan_unchanged() {
+        let opt = oracle_optimizer();
+        let query = Query::over(&["lineitem"])
+            .filter("lineitem", workload::exp1_lineitem_predicate(50))
+            .aggregate(AggExpr::count_star("n"));
+        let fragment = MaterializedFragment {
+            tables: vec!["orders".into()],
+            predicates: vec![],
+            slot: 0,
+        };
+        let baseline = opt.optimize(&query);
+        let (planned, substituted) = opt.replan_with_materialized(&query, &fragment);
+        assert!(!substituted);
+        assert_eq!(planned.shape(), baseline.shape());
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the equi-depth histogram's fallback estimation —
+//! the path the system lands on when no synopsis covers a request.
+//!
+//! Three contracts:
+//!
+//! 1. every selectivity (range, point, open-ended) lies in `[0, 1]`;
+//! 2. estimates are **monotone over widening predicates** — enlarging a
+//!    range never shrinks the estimate;
+//! 3. on uniform data the histogram agrees with the sampling-based
+//!    synopsis estimator within 2× (both are consistent estimators of
+//!    the same truth; on uniform data neither has a blind spot, so a
+//!    larger gap would mean one of them is broken).
+
+use std::ops::Bound;
+
+use proptest::prelude::*;
+use rqo_expr::Expr;
+use rqo_stats::{EquiDepthHistogram, JoinSynopsis};
+use rqo_storage::{Catalog, DataType, Schema, Table, TableBuilder, Value};
+
+fn int_table(values: &[i64]) -> Table {
+    let mut b = TableBuilder::new(
+        "t",
+        Schema::from_pairs(&[("x", DataType::Int)]),
+        values.len(),
+    );
+    for &v in values {
+        b.push_row(&[Value::Int(v)]);
+    }
+    b.finish()
+}
+
+/// `n` rows uniform over `[0, domain)`, deterministic in `seed`.
+fn uniform_values(n: usize, domain: i64, seed: u64) -> Vec<i64> {
+    // Splitmix-style mixing — cheap, seeded, and uniform enough for the
+    // 2× agreement bound.
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            ((z ^ (z >> 31)) % domain as u64) as i64
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Contract 1: all estimation entry points stay in [0, 1], for any
+    /// data distribution, bucket count, and query bounds (including
+    /// inverted and out-of-domain ranges).
+    #[test]
+    fn selectivities_lie_in_unit_interval(
+        values in prop::collection::vec(-500i64..500, 1..300),
+        lo in -600i64..600,
+        hi in -600i64..600,
+        probe in -600i64..600,
+        buckets in 1usize..50,
+    ) {
+        let t = int_table(&values);
+        let h = EquiDepthHistogram::build(&t, "x", buckets);
+        let cases = [
+            h.range_selectivity(Bound::Included(&Value::Int(lo)), Bound::Included(&Value::Int(hi))),
+            h.range_selectivity(Bound::Excluded(&Value::Int(lo)), Bound::Excluded(&Value::Int(hi))),
+            h.range_selectivity(Bound::Unbounded, Bound::Included(&Value::Int(hi))),
+            h.range_selectivity(Bound::Included(&Value::Int(lo)), Bound::Unbounded),
+            h.range_selectivity(Bound::Unbounded, Bound::Unbounded),
+            h.eq_selectivity(&Value::Int(probe)),
+        ];
+        for (i, sel) in cases.iter().enumerate() {
+            prop_assert!(
+                (0.0..=1.0).contains(sel),
+                "case {i}: selectivity {sel} outside [0, 1]"
+            );
+        }
+    }
+
+    /// Contract 2: widening a range predicate never lowers the estimate
+    /// (monotonicity in both directions).  Note that point estimates are
+    /// *not* bounded by containing-range estimates: `eq_selectivity`
+    /// assumes uniform frequency per distinct value while ranges
+    /// interpolate by width, so a narrow bucket with few distincts can
+    /// legitimately price a point above a 3-wide range.
+    #[test]
+    fn estimates_monotone_over_widening_predicates(
+        values in prop::collection::vec(-300i64..300, 1..300),
+        lo in -350i64..350,
+        len in 0i64..200,
+        widen_lo in 0i64..100,
+        widen_hi in 0i64..100,
+        buckets in 1usize..40,
+    ) {
+        let t = int_table(&values);
+        let h = EquiDepthHistogram::build(&t, "x", buckets);
+        let hi = lo + len;
+        let narrow = h.range_selectivity(
+            Bound::Included(&Value::Int(lo)),
+            Bound::Included(&Value::Int(hi)),
+        );
+        let wide = h.range_selectivity(
+            Bound::Included(&Value::Int(lo - widen_lo)),
+            Bound::Included(&Value::Int(hi + widen_hi)),
+        );
+        prop_assert!(
+            wide >= narrow - 1e-12,
+            "widening shrank the estimate: [{},{}]={} ⊂ [{},{}]={}",
+            lo, hi, narrow, lo - widen_lo, hi + widen_hi, wide
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Contract 3: on uniform data, histogram and synopsis estimates of
+    /// the same range predicate agree within 2× whenever the range is
+    /// wide enough for both to resolve it (true selectivity ≥ 5%,
+    /// comfortably above sampling noise and single-bucket granularity).
+    #[test]
+    fn histogram_agrees_with_synopsis_within_2x_on_uniform_data(
+        seed in 0u64..1000,
+        domain in 50i64..400,
+        frac_num in 1i64..20,
+        sample_seed in 0u64..1000,
+    ) {
+        let n = 2000usize;
+        let values = uniform_values(n, domain, seed);
+        let cut = (domain * frac_num / 20).max(1);
+        let truth = values.iter().filter(|&&v| v < cut).count() as f64 / n as f64;
+        prop_assume!(truth >= 0.05);
+
+        // Histogram estimate at the default resolution.
+        let t = int_table(&values);
+        let h = EquiDepthHistogram::build(&t, "x", rqo_stats::histogram::DEFAULT_BUCKETS);
+        let hist = h.range_selectivity(
+            Bound::Unbounded,
+            Bound::Excluded(&Value::Int(cut)),
+        );
+
+        // Synopsis (sampling) estimate of the same predicate.
+        let mut cat = Catalog::new();
+        cat.add_table(int_table(&values)).unwrap();
+        let syn = JoinSynopsis::build(&cat, "t", 500, sample_seed);
+        let pred = Expr::col("x").lt(Expr::lit(cut));
+        let (k, m) = syn.evaluate(&[("t", &pred)]);
+        prop_assume!(m > 0);
+        let sampled = k as f64 / m as f64;
+        prop_assume!(sampled > 0.0);
+
+        let ratio = (hist / sampled).max(sampled / hist);
+        prop_assert!(
+            ratio <= 2.0,
+            "histogram {hist:.4} vs synopsis {sampled:.4} (truth {truth:.4}): ratio {ratio:.2}"
+        );
+    }
+}

@@ -25,6 +25,8 @@ struct Args {
     seed: u64,
     threads: usize,
     explain_analyze: bool,
+    adaptive: bool,
+    force_misestimate: bool,
     repeat: usize,
 }
 
@@ -41,6 +43,8 @@ impl Args {
             seed: 7,
             threads: 1,
             explain_analyze: false,
+            adaptive: false,
+            force_misestimate: false,
             repeat: 0,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -48,7 +52,7 @@ impl Args {
             eprintln!(
                 "usage: rqo_demo <exp1|exp2|exp3> [--offset N] [--window N] [--level N] \
                  [--threshold PCT] [--scale F] [--fact-rows N] [--seed N] [--threads N] \
-                 [--explain-analyze] [--repeat N]"
+                 [--explain-analyze] [--adaptive] [--force-misestimate] [--repeat N]"
             );
             std::process::exit(2);
         }
@@ -59,6 +63,16 @@ impl Args {
             // Boolean flags take no value.
             if flag == "--explain-analyze" {
                 args.explain_analyze = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--adaptive" {
+                args.adaptive = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--force-misestimate" {
+                args.force_misestimate = true;
                 i += 1;
                 continue;
             }
@@ -156,11 +170,39 @@ fn main() {
     .with_threshold(threshold)
     .with_exec_options(ExecOptions::with_threads(args.threads));
 
+    // Plant a wildly wrong selectivity so the first plan is provably bad
+    // — the demo knob for watching runtime cardinality guards fire.
+    if args.force_misestimate {
+        match args.scenario.as_str() {
+            "exp1" => {
+                let pred = exp1_lineitem_predicate(args.offset);
+                db.feedback()
+                    .inject_observation(&["lineitem"], &[("lineitem", &pred)], 0.9);
+            }
+            "exp2" => {
+                let pred = exp2_part_predicate(args.window);
+                db.feedback()
+                    .inject_observation(&["part"], &[("part", &pred)], 0.5);
+            }
+            _ => {
+                let pred = exp3_dim_predicate(args.level);
+                for dim in ["dim1", "dim2", "dim3"] {
+                    db.feedback()
+                        .inject_observation(&[dim], &[(dim, &pred)], 1e-6);
+                }
+            }
+        }
+    }
+
     println!(
         "scenario: {}  (T = {}%, threads = {})",
         args.scenario, args.threshold_pct, args.threads
     );
-    let outcome = if args.explain_analyze {
+    let outcome = if args.adaptive {
+        let adaptive = db.run_adaptive(&query);
+        println!("\n{}", adaptive.render());
+        adaptive.outcome
+    } else if args.explain_analyze {
         let analyzed = db.explain_analyze(&query);
         println!("\nrobust plan (EXPLAIN ANALYZE):\n{}", analyzed.render());
         analyzed.outcome

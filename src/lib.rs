@@ -62,12 +62,12 @@ pub use rqo_storage as storage;
 
 /// One-stop imports for applications and the examples.
 pub mod prelude {
-    pub use crate::{AnalyzedOutcome, QueryOutcome, RobustDb};
+    pub use crate::{AdaptiveOutcome, AnalyzedOutcome, QueryOutcome, ReplanEvent, RobustDb};
     pub use rqo_core::{
-        CardinalityEstimator, ConfidenceThreshold, DistributionalHistogramEstimator,
-        EstimateSource, EstimationRequest, EstimatorConfig, FeedbackStore, HistogramEstimator,
-        MagicPolicy, OnTheFlyEstimator, Prior, RobustEstimator, RobustnessLevel,
-        SelectivityPosterior,
+        AdaptivePolicy, CardinalityEstimator, ConfidenceThreshold,
+        DistributionalHistogramEstimator, EstimateSource, EstimationRequest, EstimatorConfig,
+        FeedbackStore, HistogramEstimator, MagicPolicy, OnTheFlyEstimator, Prior, RobustEstimator,
+        RobustnessLevel, SelectivityPosterior,
     };
     pub use rqo_datagen::workload::{
         exp1_lineitem_predicate, exp2_part_predicate, exp3_dim_predicate, true_selectivity,
@@ -86,12 +86,18 @@ pub mod prelude {
 use std::sync::Arc;
 
 use rqo_core::{
-    ConfidenceThreshold, EstimatorConfig, FeedbackStore, RobustEstimator, RobustnessLevel,
+    AdaptivePolicy, ConfidenceThreshold, EstimatorConfig, FeedbackStore, RobustEstimator,
+    RobustnessLevel,
 };
-use rqo_exec::{Batch, ExecOptions, OpMetrics, PhysicalPlan};
-use rqo_optimizer::{CacheStats, Optimizer, PlanCache, PlanFingerprint, PlannedQuery, Query};
+use rqo_exec::{
+    execute_guarded, guard_points, Batch, ExecOptions, ExecStatus, OpMetrics, PhysicalPlan,
+    RowGuard,
+};
+use rqo_optimizer::{
+    CacheStats, MaterializedFragment, Optimizer, PlanCache, PlanFingerprint, PlannedQuery, Query,
+};
 use rqo_stats::SynopsisRepository;
-use rqo_storage::{Catalog, CostParams, Value};
+use rqo_storage::{Catalog, CostParams, CostTracker, Value};
 
 /// The result of running one query through [`RobustDb`].
 #[derive(Debug, Clone)]
@@ -131,6 +137,103 @@ impl AnalyzedOutcome {
     }
 }
 
+/// One mid-query re-plan, as recorded by [`RobustDb::run_adaptive`].
+#[derive(Debug, Clone)]
+pub struct ReplanEvent {
+    /// Pre-order index of the tripped guard's node in the plan that was
+    /// executing when the guard fired.
+    pub node: usize,
+    /// Operator label of the tripped node.
+    pub label: String,
+    /// Output rows the plan priced the node at.
+    pub est_rows: f64,
+    /// Rows actually materialized at the pipeline breaker.
+    pub actual_rows: u64,
+    /// q-error between them (> the policy's guard bound, by construction).
+    pub q_error: f64,
+    /// Confidence threshold the tripped plan was optimized at.
+    pub threshold_before: ConfidenceThreshold,
+    /// Escalated threshold the re-plan was optimized at.
+    pub threshold_after: ConfidenceThreshold,
+    /// Observed selectivities fed back before re-planning.
+    pub observations: usize,
+    /// Whether the re-plan grafted a `Materialized` leaf over the
+    /// finished fragment (`false` ⇒ the fresh plan had no matching
+    /// subtree and recomputes from scratch — correct, just not resumed).
+    pub resumed: bool,
+    /// Shape of the plan that tripped.
+    pub old_shape: String,
+    /// Shape of the re-planned query.
+    pub new_shape: String,
+}
+
+impl ReplanEvent {
+    /// Renders the event as one log paragraph (deterministic).
+    pub fn render(&self) -> String {
+        format!(
+            "guard tripped at node {} [{}]: est {:.1} rows, actual {} rows, q-error {:.2}\n  \
+             threshold {}% -> {}%; {} observation(s) fed back; {}\n  \
+             plan: {} -> {}",
+            self.node,
+            self.label,
+            self.est_rows,
+            self.actual_rows,
+            self.q_error,
+            self.threshold_before.percent(),
+            self.threshold_after.percent(),
+            self.observations,
+            if self.resumed {
+                "resumed from materialized checkpoint"
+            } else {
+                "no matching subtree, recomputing"
+            },
+            self.old_shape,
+            self.new_shape,
+        )
+    }
+}
+
+/// The result of [`RobustDb::run_adaptive`]: the query outcome, the
+/// re-plan event log, and the metrics tree of the final (completed)
+/// execution.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// The ordinary query result.  `plan` is the plan that ran to
+    /// completion; `simulated_seconds` is the **total** tracked cost
+    /// including all partial executions before re-plans, and
+    /// `estimated_seconds` is the first plan's estimate.
+    pub outcome: QueryOutcome,
+    /// One entry per guard trip, in order.
+    pub events: Vec<ReplanEvent>,
+    /// Per-operator metrics of the completed execution, annotated with
+    /// the final plan's estimates.
+    pub metrics: OpMetrics,
+}
+
+impl AdaptiveOutcome {
+    /// Number of mid-query re-plans that occurred.
+    pub fn replans(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Renders the re-plan event log followed by the final plan's
+    /// annotated metrics tree.  Deterministic: identical at every thread
+    /// count for the same database and query.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "adaptive execution: {} re-plan(s)\n",
+            self.replans()
+        ));
+        for (i, event) in self.events.iter().enumerate() {
+            out.push_str(&format!("[{}] {}\n", i + 1, event.render()));
+        }
+        out.push_str("final plan:\n");
+        out.push_str(&self.metrics.render());
+        out
+    }
+}
+
 /// A batteries-included database handle: catalog + precomputed join
 /// synopses + a robust optimizer, behind one `run(query)` call.
 ///
@@ -147,6 +250,7 @@ pub struct RobustDb {
     exec_options: ExecOptions,
     feedback: Arc<FeedbackStore>,
     plan_cache: Arc<PlanCache>,
+    adaptive_policy: AdaptivePolicy,
 }
 
 impl RobustDb {
@@ -176,7 +280,23 @@ impl RobustDb {
             exec_options: ExecOptions::default(),
             feedback: Arc::new(FeedbackStore::new()),
             plan_cache: Arc::new(PlanCache::default()),
+            adaptive_policy: AdaptivePolicy::default(),
         }
+    }
+
+    /// Sets the adaptive re-optimization policy used by
+    /// [`run_adaptive`](Self::run_adaptive): guard bound, threshold
+    /// escalation schedule, and re-plan budget.
+    /// [`AdaptivePolicy::disabled`] makes `run_adaptive` identical to
+    /// [`run`](Self::run).
+    pub fn with_adaptive_policy(mut self, policy: AdaptivePolicy) -> Self {
+        self.adaptive_policy = policy;
+        self
+    }
+
+    /// The active adaptive re-optimization policy.
+    pub fn adaptive_policy(&self) -> &AdaptivePolicy {
+        &self.adaptive_policy
     }
 
     /// Sets the executor's parallelism knobs (worker threads, morsel
@@ -320,6 +440,170 @@ impl RobustDb {
         }
     }
 
+    /// Records one annotated node's observed selectivity into the
+    /// feedback store and the plan cache's drift check.  Returns whether
+    /// the node had a recordable estimation request.
+    fn record_observation(&self, rows_out: u64, ann: &rqo_optimizer::NodeAnnotation) -> bool {
+        if ann.predicates.is_empty() || ann.root_rows <= 0.0 {
+            return false;
+        }
+        // Floor at half a tuple: a zero-row result is evidence the
+        // selectivity is *small*, not that it is exactly 0.0 — a pinned
+        // zero would price every later plan for this predicate at zero
+        // cardinality forever.
+        let observed = ((rows_out as f64).max(0.5) / ann.root_rows).clamp(0.0, 1.0);
+        let tables: Vec<&str> = ann.tables.iter().map(String::as_str).collect();
+        let predicates: Vec<_> = ann
+            .predicates
+            .iter()
+            .map(|(t, e)| (t.as_str(), e))
+            .collect();
+        self.feedback.record(&tables, &predicates, observed);
+        let key = FeedbackStore::canonical_key(&tables, &predicates);
+        self.plan_cache.observe(&key, observed);
+        true
+    }
+
+    /// Runs a query with **mid-query adaptive re-optimization** under the
+    /// database's [`AdaptivePolicy`].
+    ///
+    /// Execution proceeds like [`run`](Self::run), but every blocking
+    /// operator whose output the plan priced (hash-join builds, aggregate
+    /// inputs, merge-join inputs, nested-loop outers, index
+    /// intersections) carries a runtime cardinality guard.  When the
+    /// q-error between a breaker's actual and estimated cardinality
+    /// exceeds the policy's guard bound, execution pauses with the
+    /// breaker's output materialized; the observed selectivities of the
+    /// completed subtree are recorded into [`feedback`](Self::feedback)
+    /// (and drift-checked against the plan cache, evicting the triggering
+    /// fingerprint when stale); the query is re-optimized at an
+    /// **escalated** confidence threshold with the truth now in the
+    /// feedback store; and execution resumes with the finished fragment
+    /// served from memory via a grafted
+    /// [`PhysicalPlan::Materialized`] leaf.
+    ///
+    /// Guarantees:
+    ///
+    /// * **Same answers.**  Result rows are bit-identical to
+    ///   [`run`](Self::run) at every thread count (for aggregate-topped
+    ///   queries, whose output order is plan-independent).
+    /// * **Deterministic adaptivity.**  Guard decisions compare exact
+    ///   materialized cardinalities against plan-time estimates, so trip
+    ///   points, re-plan counts, and the total tracked cost are identical
+    ///   at 1, 2, or 8 threads.
+    /// * **Cache hygiene.**  Re-planned fragments are planned directly —
+    ///   never inserted into the plan cache — while the trip's
+    ///   observations flow through the cache's drift rule, evicting the
+    ///   plan that tripped.
+    ///
+    /// With [`AdaptivePolicy::disabled`] no guards are armed and the
+    /// call is equivalent to [`run`](Self::run) (same plan, same rows,
+    /// same simulated cost).
+    pub fn run_adaptive(&self, query: &Query) -> AdaptiveOutcome {
+        let policy = self.adaptive_policy.clone();
+        let mut threshold = query.hint.unwrap_or(self.threshold);
+        let mut planned: Arc<PlannedQuery> = self.optimize(query);
+        let estimated_seconds = planned.estimated_cost_ms / 1000.0;
+        let mut tracker = CostTracker::new();
+        let mut events: Vec<ReplanEvent> = Vec::new();
+        let mut slots: Vec<Batch> = Vec::new();
+
+        loop {
+            // Guards stay armed while the re-plan budget lasts; the final
+            // permitted execution runs unguarded to completion.
+            let guards: Vec<RowGuard> = if policy.is_enabled() && events.len() < policy.max_replans
+            {
+                guard_points(&planned.plan)
+                    .into_iter()
+                    .filter_map(|idx| {
+                        let ann = planned.node_annotations.get(idx)?.as_ref()?;
+                        (!ann.tables.is_empty()).then_some(RowGuard {
+                            node: idx,
+                            est_rows: ann.est_rows,
+                            bound: policy.guard_bound,
+                        })
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let status = execute_guarded(
+                &planned.plan,
+                &self.catalog,
+                &self.params,
+                &self.exec_options,
+                &guards,
+                &slots,
+                &mut tracker,
+            );
+            match status {
+                ExecStatus::Complete { batch, mut metrics } => {
+                    metrics.annotate(&planned.node_estimates());
+                    let Batch { schema, rows } = batch;
+                    return AdaptiveOutcome {
+                        outcome: QueryOutcome {
+                            plan: planned.plan.clone(),
+                            columns: schema.names().iter().map(|s| s.to_string()).collect(),
+                            rows,
+                            simulated_seconds: tracker.seconds(&self.params),
+                            estimated_seconds,
+                        },
+                        events,
+                        metrics,
+                    };
+                }
+                ExecStatus::Tripped(trip) => {
+                    // The tripped node's subtree is complete: feed its
+                    // observed selectivities back before re-planning.  In
+                    // pre-order a subtree is a contiguous block starting
+                    // at its root, so the subtree's metrics zip with the
+                    // annotations from `trip.node` on.
+                    let mut observations = 0;
+                    for (node, annotation) in trip
+                        .metrics
+                        .preorder()
+                        .iter()
+                        .zip(&planned.node_annotations[trip.node..])
+                    {
+                        let Some(ann) = annotation else { continue };
+                        if self.record_observation(node.rows_out, ann) {
+                            observations += 1;
+                        }
+                    }
+                    let before = threshold;
+                    threshold = policy.escalate(threshold, events.len());
+                    let ann = planned.node_annotations[trip.node]
+                        .as_ref()
+                        .expect("guards are only armed on annotated nodes");
+                    let fragment = MaterializedFragment::from_annotation(ann, slots.len());
+                    // Re-plan directly — NOT through `self.optimize` —
+                    // so the grafted plan never enters the plan cache.
+                    let replan_query = query.clone().with_hint(threshold);
+                    let (new_planned, resumed) = self
+                        .optimizer()
+                        .replan_with_materialized(&replan_query, &fragment);
+                    events.push(ReplanEvent {
+                        node: trip.node,
+                        label: trip.metrics.label.clone(),
+                        est_rows: trip.est_rows,
+                        actual_rows: trip.actual_rows,
+                        q_error: trip.q_error,
+                        threshold_before: before,
+                        threshold_after: threshold,
+                        observations,
+                        resumed,
+                        old_shape: planned.shape(),
+                        new_shape: new_planned.shape(),
+                    });
+                    if resumed {
+                        slots.push(trip.batch);
+                    }
+                    planned = Arc::new(new_planned);
+                }
+            }
+        }
+    }
+
     /// `EXPLAIN ANALYZE`: optimizes and executes a query, returning the
     /// result together with a per-operator metrics tree annotated with
     /// the optimizer's cardinality estimates (estimate vs. actual rows
@@ -354,23 +638,7 @@ impl RobustDb {
         // request the estimator answered during planning.
         for (node, annotation) in metrics.preorder().iter().zip(&planned.node_annotations) {
             let Some(ann) = annotation else { continue };
-            if ann.predicates.is_empty() || ann.root_rows <= 0.0 {
-                continue;
-            }
-            // Floor at half a tuple: a zero-row result is evidence the
-            // selectivity is *small*, not that it is exactly 0.0 — a
-            // pinned zero would price every later plan for this
-            // predicate at zero cardinality forever.
-            let observed = ((node.rows_out as f64).max(0.5) / ann.root_rows).clamp(0.0, 1.0);
-            let tables: Vec<&str> = ann.tables.iter().map(String::as_str).collect();
-            let predicates: Vec<_> = ann
-                .predicates
-                .iter()
-                .map(|(t, e)| (t.as_str(), e))
-                .collect();
-            self.feedback.record(&tables, &predicates, observed);
-            let key = FeedbackStore::canonical_key(&tables, &predicates);
-            self.plan_cache.observe(&key, observed);
+            self.record_observation(node.rows_out, ann);
         }
 
         let Batch { schema, rows } = batch;

@@ -1,0 +1,213 @@
+//! Regression tests for the forced-misestimate adaptive path.
+//!
+//! The scenario: `FeedbackStore::inject_observation` plants a wildly
+//! wrong selectivity for the part predicate (50% when the truth is a
+//! handful of rows), so the first plan is provably bad — a scan-based
+//! hash join sized for half the part table.  The runtime cardinality
+//! guard at the hash build must fire after the (cheap) part access,
+//! *before* the expensive lineitem scan, and the re-plan — primed with
+//! the observed truth — must switch to the indexed nested-loops plan the
+//! truthful optimizer would have chosen, resuming against the
+//! materialized part rows.
+//!
+//! Every test constructs fresh, identically-seeded databases per arm:
+//! `run_adaptive` feeds observations back into its database, which would
+//! otherwise let a later static `run` on the same handle benefit from
+//! the adaptive run's discoveries.
+
+use robust_qo::prelude::*;
+
+/// Deterministic database: TPC-H-like at scale 0.01 (≈60k lineitem,
+/// 1000 part), fixed generator and sampling seeds.
+fn db() -> RobustDb {
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.01,
+        seed: 1234,
+    });
+    RobustDb::with_options(data.into_catalog(), CostParams::default(), 500, 9)
+}
+
+/// The narrow part-predicate query (window 250 ⇒ ~1 qualifying part).
+fn query() -> Query {
+    Query::over(&["lineitem", "part"])
+        .filter("part", exp2_part_predicate(250))
+        .aggregate(AggExpr::count_star("n"))
+        .aggregate(AggExpr::sum("l_extendedprice", "rev"))
+}
+
+/// Plants the wildly wrong selectivity: half the part table matches.
+fn inject(handle: &RobustDb) {
+    let pred = exp2_part_predicate(250);
+    handle
+        .feedback()
+        .inject_observation(&["part"], &[("part", &pred)], 0.5);
+}
+
+#[test]
+fn forced_misestimate_trips_guard_and_beats_static_plan() {
+    let static_db = db();
+    inject(&static_db);
+    let static_run = static_db.run(&query());
+    assert!(
+        static_run.plan.shape_label().contains("hj"),
+        "misestimate must push the static plan to a scan-based join, got {}",
+        static_run.plan.shape_label()
+    );
+
+    let adaptive_db = db();
+    inject(&adaptive_db);
+    let adaptive = adaptive_db.run_adaptive(&query());
+
+    // ≥1 guard fired, and each trip's q-error exceeded the bound.
+    let bound = adaptive_db.adaptive_policy().guard_bound;
+    assert!(adaptive.replans() >= 1, "guard must fire");
+    for event in &adaptive.events {
+        assert!(
+            event.q_error > bound,
+            "trip below the guard bound: {}",
+            event.render()
+        );
+        assert!(
+            event.resumed,
+            "fragment must be grafted: {}",
+            event.render()
+        );
+        assert!(
+            event.threshold_after.value() >= event.threshold_before.value(),
+            "escalation never lowers the threshold"
+        );
+    }
+
+    // Answers are bit-identical to the static run.
+    assert_eq!(adaptive.outcome.rows, static_run.rows);
+    assert_eq!(adaptive.outcome.columns, static_run.columns);
+
+    // The re-planned fragments brought every estimated node at or below
+    // the guard bound: the final, completed execution has no violating
+    // breaker left.
+    for node in adaptive.metrics.preorder() {
+        if let Some(q) = node.q_error() {
+            assert!(
+                q <= bound,
+                "final plan still violates the guard bound at {}: q={q}",
+                node.label
+            );
+        }
+    }
+
+    // Total tracked cost (including all partial executions) beats the
+    // static plan — the guard fired before the expensive probe side ran.
+    assert!(
+        adaptive.outcome.simulated_seconds < static_run.simulated_seconds,
+        "adaptive {} vs static {}",
+        adaptive.outcome.simulated_seconds,
+        static_run.simulated_seconds
+    );
+}
+
+#[test]
+fn disabled_policy_observes_zero_replans_and_static_cost() {
+    let static_db = db();
+    inject(&static_db);
+    let static_run = static_db.run(&query());
+
+    let disabled_db = db().with_adaptive_policy(AdaptivePolicy::disabled());
+    inject(&disabled_db);
+    let disabled = disabled_db.run_adaptive(&query());
+
+    assert_eq!(disabled.replans(), 0);
+    assert_eq!(disabled.outcome.rows, static_run.rows);
+    assert_eq!(
+        disabled.outcome.simulated_seconds, static_run.simulated_seconds,
+        "disabled guards must reproduce the static plan's exact cost"
+    );
+    assert_eq!(
+        disabled.outcome.plan.shape_label(),
+        static_run.plan.shape_label()
+    );
+}
+
+#[test]
+fn trip_points_and_costs_are_thread_invariant() {
+    let reference = {
+        let handle = db();
+        inject(&handle);
+        handle.run_adaptive(&query())
+    };
+    assert!(reference.replans() >= 1);
+    for threads in [2usize, 8] {
+        let handle = db().with_exec_options(ExecOptions::with_threads(threads));
+        inject(&handle);
+        let outcome = handle.run_adaptive(&query());
+        assert_eq!(outcome.outcome.rows, reference.outcome.rows, "t={threads}");
+        assert_eq!(outcome.replans(), reference.replans(), "t={threads}");
+        assert_eq!(
+            outcome.outcome.simulated_seconds, reference.outcome.simulated_seconds,
+            "t={threads}"
+        );
+        for (a, b) in outcome.events.iter().zip(&reference.events) {
+            assert_eq!(a.node, b.node, "t={threads}");
+            assert_eq!(a.actual_rows, b.actual_rows, "t={threads}");
+            assert_eq!(a.new_shape, b.new_shape, "t={threads}");
+        }
+    }
+}
+
+#[test]
+fn replanned_fragments_bypass_the_plan_cache() {
+    let handle = db();
+    inject(&handle);
+    let adaptive = handle.run_adaptive(&query());
+    assert!(adaptive.replans() >= 1, "scenario requires a trip");
+
+    // The initial plan was cached by `optimize`; the trip's observation
+    // drift-evicted that fingerprint, and no re-planned fragment was ever
+    // inserted — the cache ends empty.
+    let stats = handle.cache_stats();
+    assert!(
+        stats.drift_evictions >= 1,
+        "triggering fingerprint must be drift-evicted: {stats:?}"
+    );
+    assert_eq!(
+        handle.plan_cache().len(),
+        0,
+        "re-planned fragments must never be cached"
+    );
+
+    // The next static run re-plans with the fed-back truth and lands on
+    // the good plan directly — the cross-query payoff of the trip.
+    let follow_up = handle.run(&query());
+    assert_eq!(
+        follow_up.plan.shape_label(),
+        adaptive
+            .outcome
+            .plan
+            .shape_label()
+            .replace("mat#1", "inl(seqscan,lineitem)"),
+        "follow-up should adopt the corrected plan family"
+    );
+    assert_eq!(follow_up.rows, adaptive.outcome.rows);
+}
+
+#[test]
+fn accurate_estimates_never_trip() {
+    // No injection, and a wide predicate the sample estimates well: the
+    // adaptive run must not pay any re-plans and must match `run`
+    // exactly.  (A *narrow* predicate can legitimately trip even without
+    // injection — sampling zero of a handful of qualifying rows is
+    // exactly the misestimate the guards exist to catch.)
+    let wide = Query::over(&["lineitem", "part"])
+        .filter("part", Expr::col("p_x").lt(Expr::lit(300i64)))
+        .aggregate(AggExpr::count_star("n"))
+        .aggregate(AggExpr::sum("l_extendedprice", "rev"));
+    let static_db = db();
+    let static_run = static_db.run(&wide);
+    let adaptive_db = db();
+    let adaptive = adaptive_db.run_adaptive(&wide);
+    assert_eq!(adaptive.replans(), 0);
+    assert_eq!(adaptive.outcome.rows, static_run.rows);
+    assert_eq!(
+        adaptive.outcome.simulated_seconds,
+        static_run.simulated_seconds
+    );
+}

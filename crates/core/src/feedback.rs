@@ -102,6 +102,29 @@ impl FeedbackStore {
         self.epoch.fetch_add(1, Ordering::SeqCst) + 1
     }
 
+    /// A private copy of this store: same epoch, same observations,
+    /// fully independent afterwards.  The adaptive executor re-plans
+    /// against a fork so that a query cancelled mid-flight leaves the
+    /// shared store untouched — its tentative observations are published
+    /// (replayed onto the shared store) only if the query completes.
+    pub fn fork(&self) -> Self {
+        let observations = self.guard().clone();
+        Self {
+            observations: Mutex::new(observations),
+            epoch: AtomicU64::new(self.epoch()),
+        }
+    }
+
+    /// Every recorded observation as sorted `(key, selectivity)` pairs —
+    /// a deterministic, comparable snapshot (the cancellation proptests
+    /// assert a cancelled query leaves this byte-identical).
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> =
+            self.guard().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Records an observed selectivity (clamped to `[0, 1]`), overwriting
     /// any previous observation for the same request.  Returns the
     /// previous observation, if any — the drift hook callers use to
@@ -225,6 +248,29 @@ mod tests {
             "epoch advance must drop stale observations"
         );
         assert_eq!(store.advance_epoch(), 2);
+    }
+
+    #[test]
+    fn fork_is_independent_and_snapshot_is_sorted() {
+        let store = FeedbackStore::new();
+        let p5 = pred("k", 5);
+        let p9 = pred("k", 9);
+        store.record(&["t"], &[("t", &p9)], 0.9);
+        store.record(&["t"], &[("t", &p5)], 0.1);
+
+        let fork = store.fork();
+        assert_eq!(fork.epoch(), store.epoch());
+        assert_eq!(fork.snapshot(), store.snapshot());
+
+        // Writes to the fork never reach the parent (and vice versa).
+        fork.record(&["t"], &[("t", &p5)], 0.7);
+        assert_eq!(store.lookup(&["t"], &[("t", &p5)]), Some(0.1));
+        store.record(&["u"], &[("u", &p9)], 0.2);
+        assert_eq!(fork.lookup(&["u"], &[("u", &p9)]), None);
+
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod magic;
 pub mod onthefly;
 pub mod posterior;
 pub mod prior;
+pub mod service;
 
 pub use adaptive::{AdaptivePolicy, DEFAULT_GUARD_BOUND};
 pub use confidence::{cost_at_threshold, ConfidenceThreshold, RobustnessLevel};
@@ -57,3 +58,4 @@ pub use magic::MagicPolicy;
 pub use onthefly::OnTheFlyEstimator;
 pub use posterior::SelectivityPosterior;
 pub use prior::Prior;
+pub use service::{QueryToken, ServiceConfig, StopReason};

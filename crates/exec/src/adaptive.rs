@@ -22,10 +22,11 @@
 //! same query trips the same guards in the same order at 1, 2, or 8
 //! workers.
 
+use rqo_core::StopReason;
 use rqo_storage::{Catalog, CostParams, CostTracker};
 
 use crate::batch::Batch;
-use crate::executor::run_guarded;
+use crate::executor::{run_guarded, Interrupt};
 use crate::metrics::OpMetrics;
 use crate::morsel::ExecOptions;
 use crate::plan::PhysicalPlan;
@@ -92,6 +93,9 @@ pub enum ExecStatus {
     },
     /// A guard tripped; execution paused at the pipeline breaker.
     Tripped(Box<GuardTrip>),
+    /// The query's cancellation/deadline token fired; execution stopped
+    /// within one morsel, producing nothing.
+    Stopped(StopReason),
 }
 
 /// Pre-order indices of the plan's **guardable checkpoints**: nodes whose
@@ -112,46 +116,24 @@ pub enum ExecStatus {
 /// cardinality is already known exactly.
 pub fn guard_points(plan: &PhysicalPlan) -> Vec<usize> {
     let mut out = Vec::new();
-    walk_points(plan, &mut 0, &mut out);
+    for node in plan.preorder() {
+        match node.plan {
+            PhysicalPlan::IndexIntersection { .. } | PhysicalPlan::StarSemiJoin { .. } => {
+                out.push(node.index);
+            }
+            PhysicalPlan::HashJoin { build, .. } => mark(build, node.children[0], &mut out),
+            PhysicalPlan::MergeJoin { left, right, .. } => {
+                mark(left, node.children[0], &mut out);
+                mark(right, node.children[1], &mut out);
+            }
+            PhysicalPlan::IndexedNlJoin { outer, .. } => mark(outer, node.children[0], &mut out),
+            PhysicalPlan::HashAggregate { input, .. } => mark(input, node.children[0], &mut out),
+            _ => {}
+        }
+    }
     out.sort_unstable();
     out.dedup();
     out
-}
-
-fn walk_points(plan: &PhysicalPlan, counter: &mut usize, out: &mut Vec<usize>) {
-    let my = *counter;
-    *counter += 1;
-    // A child's pre-order index is the counter value at the moment we
-    // recurse into it.
-    match plan {
-        PhysicalPlan::IndexIntersection { .. } | PhysicalPlan::StarSemiJoin { .. } => {
-            out.push(my);
-        }
-        PhysicalPlan::HashJoin { build, probe, .. } => {
-            mark(build, *counter, out);
-            walk_points(build, counter, out);
-            walk_points(probe, counter, out);
-        }
-        PhysicalPlan::MergeJoin { left, right, .. } => {
-            mark(left, *counter, out);
-            walk_points(left, counter, out);
-            mark(right, *counter, out);
-            walk_points(right, counter, out);
-        }
-        PhysicalPlan::IndexedNlJoin { outer, .. } => {
-            mark(outer, *counter, out);
-            walk_points(outer, counter, out);
-        }
-        PhysicalPlan::HashAggregate { input, .. } => {
-            mark(input, *counter, out);
-            walk_points(input, counter, out);
-        }
-        _ => {
-            for child in plan.children() {
-                walk_points(child, counter, out);
-            }
-        }
-    }
 }
 
 fn mark(child: &PhysicalPlan, idx: usize, out: &mut Vec<usize>) {
@@ -184,7 +166,8 @@ pub fn execute_guarded(
 ) -> ExecStatus {
     match run_guarded(plan, catalog, params, tracker, opts, guards, slots) {
         Ok((batch, metrics)) => ExecStatus::Complete { batch, metrics },
-        Err(trip) => ExecStatus::Tripped(trip),
+        Err(Interrupt::Trip(trip)) => ExecStatus::Tripped(trip),
+        Err(Interrupt::Stopped(reason)) => ExecStatus::Stopped(reason),
     }
 }
 

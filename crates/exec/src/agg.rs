@@ -177,19 +177,20 @@ pub fn hash_aggregate(
 /// every thread count: 2-thread and 8-thread runs are bit-identical.
 /// Against the *serial* operator, COUNT/MIN/MAX and integer-valued
 /// SUM/AVG are exact; irrational float sums may differ in the last ulp
-/// (row-order vs. morsel-merge-order association).
+/// (row-order vs. morsel-merge-order association).  Returns `None` when
+/// the query's token fired mid-accumulation.
 pub fn hash_aggregate_par(
     tracker: &mut CostTracker,
     input: Batch,
     group_by: &[String],
     aggregates: &[AggExpr],
     opts: &crate::morsel::ExecOptions,
-) -> Batch {
+) -> Option<Batch> {
     let (group_idx, agg_idx) = resolve_indices(&input, group_by, aggregates);
     tracker.charge_hash_builds(input.len() as u64);
     let partials = crate::morsel::run_morsels(opts, input.len(), |morsel| {
         accumulate(&input.rows[morsel], &group_idx, &agg_idx, aggregates)
-    });
+    })?;
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
     for partial in partials {
         for (key, states) in partial {
@@ -205,7 +206,9 @@ pub fn hash_aggregate_par(
             }
         }
     }
-    finalize(tracker, input, group_by, aggregates, group_idx, groups)
+    Some(finalize(
+        tracker, input, group_by, aggregates, group_idx, groups,
+    ))
 }
 
 /// Resolves grouping and aggregate-input column ordinals.
@@ -421,7 +424,7 @@ mod tests {
             for threads in [1, 2, 8] {
                 let opts = ExecOptions::with_threads(threads).with_morsel_size(64);
                 let mut tp = CostTracker::new();
-                let par = hash_aggregate_par(&mut tp, b.clone(), &group_by, &aggs, &opts);
+                let par = hash_aggregate_par(&mut tp, b.clone(), &group_by, &aggs, &opts).unwrap();
                 assert_eq!(par.rows, serial.rows, "threads={threads}");
                 assert_eq!(tp, ts, "threads={threads}");
             }
@@ -439,7 +442,8 @@ mod tests {
             &[],
             &[AggExpr::sum("x", "s"), AggExpr::count_star("n")],
             &ExecOptions::with_threads(4),
-        );
+        )
+        .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows[0][0], Value::Float(0.0));
         assert_eq!(out.rows[0][1], Value::Int(0));

@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use rqo_core::StopReason;
 use rqo_storage::{Catalog, CostParams, CostTracker};
 
 use crate::adaptive::{GuardTrip, RowGuard};
@@ -14,6 +15,16 @@ use crate::metrics::OpMetrics;
 use crate::morsel::{run_morsels, ExecOptions};
 use crate::plan::PhysicalPlan;
 use crate::scan::{index_intersection_counted, index_seek_counted, seq_scan, seq_scan_par};
+
+/// Why the interpreter unwound before producing the root's result:
+/// either a cardinality guard tripped (adaptive re-planning takes over)
+/// or the query's token fired (cancellation/deadline).
+pub(crate) enum Interrupt {
+    /// A [`RowGuard`] bound was violated at a pipeline breaker.
+    Trip(Box<GuardTrip>),
+    /// The query's [`rqo_core::QueryToken`] fired.
+    Stopped(StopReason),
+}
 
 /// Executes a physical plan against the catalog, returning the result and
 /// the full simulated cost of producing it.
@@ -47,6 +58,21 @@ pub fn execute_with(
     (batch, tracker)
 }
 
+/// Token-aware [`execute_with`]: returns `Err(StopReason)` when the
+/// query's [`rqo_core::QueryToken`] fires mid-execution (within one
+/// morsel of the cancellation or deadline).  The partial work's cost is
+/// discarded along with the partial rows — an interrupted query reports
+/// nothing.
+pub fn try_execute_with(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+    opts: &ExecOptions,
+) -> Result<(Batch, CostTracker), StopReason> {
+    let (batch, tracker, _) = try_execute_analyze(plan, catalog, params, opts)?;
+    Ok((batch, tracker))
+}
+
 /// [`execute_with`] plus the per-operator [`OpMetrics`] tree — the
 /// `EXPLAIN ANALYZE` entry point.
 ///
@@ -63,10 +89,24 @@ pub fn execute_analyze(
     params: &CostParams,
     opts: &ExecOptions,
 ) -> (Batch, CostTracker, OpMetrics) {
+    try_execute_analyze(plan, catalog, params, opts)
+        .expect("query was stopped; use try_execute_analyze with a token")
+}
+
+/// Token-aware [`execute_analyze`]: `Err(StopReason)` when the query's
+/// token fires mid-execution.
+pub fn try_execute_analyze(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+    opts: &ExecOptions,
+) -> Result<(Batch, CostTracker, OpMetrics), StopReason> {
     let mut tracker = CostTracker::new();
-    let (batch, metrics) = run_guarded(plan, catalog, params, &mut tracker, opts, &[], &[])
-        .unwrap_or_else(|_| unreachable!("no guards armed"));
-    (batch, tracker, metrics)
+    match run_guarded(plan, catalog, params, &mut tracker, opts, &[], &[]) {
+        Ok((batch, metrics)) => Ok((batch, tracker, metrics)),
+        Err(Interrupt::Stopped(reason)) => Err(reason),
+        Err(Interrupt::Trip(_)) => unreachable!("no guards armed"),
+    }
 }
 
 /// Everything the recursive interpreter reads but never mutates.
@@ -83,9 +123,10 @@ struct Env<'a> {
 /// The guarded interpreter entry point (used by
 /// [`crate::adaptive::execute_guarded`]): runs the plan, accumulating
 /// cost into `tracker`, and stops with a [`GuardTrip`] at the first
-/// guard whose actual output cardinality violates its bound.  Guard
-/// checks happen in execution order, so the first trip is deterministic
-/// at every thread count.
+/// guard whose actual output cardinality violates its bound — or with a
+/// [`StopReason`] when the query's token fires.  Guard checks happen in
+/// execution order, so the first trip is deterministic at every thread
+/// count.
 pub(crate) fn run_guarded(
     plan: &PhysicalPlan,
     catalog: &Catalog,
@@ -94,7 +135,7 @@ pub(crate) fn run_guarded(
     opts: &ExecOptions,
     guards: &[RowGuard],
     slots: &[Batch],
-) -> Result<(Batch, OpMetrics), Box<GuardTrip>> {
+) -> Result<(Batch, OpMetrics), Interrupt> {
     let env = Env {
         catalog,
         params,
@@ -110,13 +151,25 @@ fn run(
     env: &Env<'_>,
     tracker: &mut CostTracker,
     counter: &mut usize,
-) -> Result<(Batch, OpMetrics), Box<GuardTrip>> {
+) -> Result<(Batch, OpMetrics), Interrupt> {
     let my_idx = *counter;
     *counter += 1;
     let start = Instant::now();
     let before = *tracker;
     let (catalog, params, opts) = (env.catalog, env.params, env.opts);
-    let parallel = opts.is_parallel();
+    // Cooperative cancellation at operator entry: together with the
+    // per-morsel polls inside `run_morsels`, a fired token unwinds the
+    // whole tree within one morsel of work.
+    if let Some(reason) = opts.check_stop() {
+        return Err(Interrupt::Stopped(reason));
+    }
+    // A token forces the morselized code paths even at one thread, so
+    // cancellation is checked per morsel rather than per operator.  The
+    // morselized operators are bit-identical to the serial ones (pinned
+    // by the parallel_equivalence suite), so this changes no result.
+    let parallel = opts.is_parallel() || opts.token.is_some();
+    // An operator that came back empty-handed was stopped by the token.
+    let stopped = || Interrupt::Stopped(opts.stop_reason().unwrap_or(StopReason::Cancelled));
     // Each arm yields the output batch plus the metric ingredients that
     // are only visible here: rows consumed, morsel count (computed from
     // sizes, identical serial or parallel), peak hash entries, children.
@@ -125,6 +178,7 @@ fn run(
             let n = catalog.table(table).expect("table exists").num_rows();
             let batch = if parallel {
                 seq_scan_par(catalog, params, tracker, table, predicate.as_ref(), opts)
+                    .ok_or_else(stopped)?
             } else {
                 seq_scan(catalog, params, tracker, table, predicate.as_ref())
             };
@@ -143,7 +197,8 @@ fn run(
                 range,
                 residual.as_ref(),
                 parallel.then_some(opts),
-            );
+            )
+            .ok_or_else(stopped)?;
             (batch, fetched as u64, opts.morsel_count(fetched), 0, vec![])
         }
         PhysicalPlan::IndexIntersection {
@@ -159,7 +214,8 @@ fn run(
                 ranges,
                 residual.as_ref(),
                 parallel.then_some(opts),
-            );
+            )
+            .ok_or_else(stopped)?;
             (batch, fetched as u64, opts.morsel_count(fetched), 0, vec![])
         }
         PhysicalPlan::Filter { input, predicate } => {
@@ -174,7 +230,8 @@ fn run(
                         .filter(|row| rqo_expr::eval_bool(&bound, row))
                         .cloned()
                         .collect()
-                });
+                })
+                .ok_or_else(stopped)?;
                 Batch::from_parts(batch.schema, parts)
             } else {
                 let rows = batch
@@ -201,7 +258,8 @@ fn run(
                         .iter()
                         .map(|row| ordinals.iter().map(|&i| row[i].clone()).collect())
                         .collect()
-                });
+                })
+                .ok_or_else(stopped)?;
                 Batch::from_parts(schema, parts)
             } else {
                 let rows = batch
@@ -223,7 +281,7 @@ fn run(
             let (p, mp) = run(probe, env, tracker, counter)?;
             let (build_len, probe_len) = (b.len(), p.len());
             let out = if parallel {
-                hash_join_par(tracker, b, p, build_key, probe_key, opts)
+                hash_join_par(tracker, b, p, build_key, probe_key, opts).ok_or_else(stopped)?
             } else {
                 hash_join(tracker, b, p, build_key, probe_key)
             };
@@ -266,6 +324,7 @@ fn run(
                     outer_key,
                     opts,
                 )
+                .ok_or_else(stopped)?
             } else {
                 indexed_nl_join(
                     catalog,
@@ -299,6 +358,7 @@ fn run(
             let n = batch.len();
             let out = if parallel {
                 hash_aggregate_par(tracker, batch, group_by, aggregates, opts)
+                    .ok_or_else(stopped)?
             } else {
                 hash_aggregate(tracker, batch, group_by, aggregates)
             };
@@ -340,14 +400,14 @@ fn run(
     // count.
     if let Some(guard) = env.guards.iter().find(|g| g.node == my_idx) {
         if guard.trips(metrics.rows_out) {
-            return Err(Box::new(GuardTrip {
+            return Err(Interrupt::Trip(Box::new(GuardTrip {
                 node: my_idx,
                 est_rows: guard.est_rows,
                 actual_rows: metrics.rows_out,
                 q_error: crate::adaptive::q_error(guard.est_rows, metrics.rows_out as f64),
                 batch,
                 metrics,
-            }));
+            })));
         }
     }
     Ok((batch, metrics))

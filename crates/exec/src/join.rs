@@ -62,7 +62,8 @@ pub fn hash_join(
 /// emit their matches independently and are concatenated in morsel order,
 /// reproducing the serial output row order.  All three charges
 /// (`hash_builds`, `hash_probes`, `cpu_ops`) are totals over input/output
-/// sizes, so the merged tracker is bit-identical to serial.
+/// sizes, so the merged tracker is bit-identical to serial.  Returns
+/// `None` when the query's token fired during either phase.
 pub fn hash_join_par(
     tracker: &mut CostTracker,
     build: Batch,
@@ -70,7 +71,7 @@ pub fn hash_join_par(
     build_key: &str,
     probe_key: &str,
     opts: &ExecOptions,
-) -> Batch {
+) -> Option<Batch> {
     let schema = join_schemas(&build, &probe);
     let bk = build.schema.expect_index(build_key);
     let pk = probe.schema.expect_index(probe_key);
@@ -82,7 +83,7 @@ pub fn hash_join_par(
             local.entry(build.rows[i][bk].clone()).or_default().push(i);
         }
         local
-    });
+    })?;
     let mut table: HashMap<Value, Vec<usize>> = HashMap::with_capacity(build.len());
     for partial in partials {
         for (key, mut indices) in partial {
@@ -103,10 +104,10 @@ pub fn hash_join_par(
             }
         }
         out
-    });
+    })?;
     let out: Vec<Vec<Value>> = parts.into_iter().flatten().collect();
     tracker.charge_cpu_ops(out.len() as u64);
-    Batch::new(schema, out)
+    Some(Batch::new(schema, out))
 }
 
 /// Merge join on equality keys.  Inputs not already sorted on their key
@@ -217,7 +218,7 @@ pub fn indexed_nl_join(
 /// [`fetch_rows`]) are independent of the other rows, so summing the
 /// morsel trackers — all-integer counters — reproduces the serial totals
 /// exactly, and concatenating morsel outputs in index order reproduces
-/// the serial row order.
+/// the serial row order.  Returns `None` when the query's token fired.
 #[allow(clippy::too_many_arguments)]
 pub fn indexed_nl_join_par(
     catalog: &Catalog,
@@ -228,7 +229,7 @@ pub fn indexed_nl_join_par(
     inner_index_column: &str,
     outer_key: &str,
     opts: &ExecOptions,
-) -> Batch {
+) -> Option<Batch> {
     let inner = catalog.table(inner_table).expect("inner table exists");
     let index = catalog
         .secondary_index(inner_table, inner_index_column)
@@ -252,14 +253,14 @@ pub fn indexed_nl_join_par(
             }
         }
         (out, local)
-    });
+    })?;
     let mut out = Vec::new();
     for (rows, local) in parts {
         tracker.absorb(&local);
         out.extend(rows);
     }
     tracker.charge_cpu_ops(out.len() as u64);
-    Batch::new(schema, out)
+    Some(Batch::new(schema, out))
 }
 
 /// Star semijoin (Experiment 3's index strategy): for each leg, filter the
@@ -486,7 +487,8 @@ mod tests {
         for threads in [1, 2, 8] {
             let opts = ExecOptions::with_threads(threads).with_morsel_size(16);
             let mut tp = CostTracker::new();
-            let par = hash_join_par(&mut tp, l.clone(), r.clone(), "a_key", "b_key", &opts);
+            let par =
+                hash_join_par(&mut tp, l.clone(), r.clone(), "a_key", "b_key", &opts).unwrap();
             assert_eq!(par.rows, serial.rows, "threads={threads}");
             assert_eq!(tp, ts, "threads={threads}");
         }
@@ -513,7 +515,8 @@ mod tests {
                 "k",
                 "o_key",
                 &opts,
-            );
+            )
+            .unwrap();
             assert_eq!(par.rows, serial.rows, "threads={threads}");
             assert_eq!(tp, ts, "threads={threads}");
         }

@@ -29,6 +29,17 @@
 //! (see [`morsel`]).  Results and simulated costs are bit-identical to
 //! serial execution by construction — parallelism changes wall-clock
 //! time, never answers or charged cost.
+//!
+//! # Cooperative cancellation
+//!
+//! An [`ExecOptions`] can carry a [`rqo_core::QueryToken`]; the executor
+//! polls it at every operator entry and every morsel boundary, so a
+//! cancelled or past-deadline query stops within one morsel of work.
+//! [`try_execute_with`] / [`try_execute_analyze`] surface the stop as an
+//! `Err(StopReason)` instead of panicking.  An options value carrying a
+//! token also routes single-threaded execution through the morselized
+//! operator paths (bit-identical to serial by the equivalence suite), so
+//! polls happen per-morsel even at `threads = 1`.
 
 #![warn(missing_docs)]
 
@@ -44,7 +55,7 @@ pub mod scan;
 
 pub use adaptive::{execute_guarded, guard_points, q_error, ExecStatus, GuardTrip, RowGuard};
 pub use batch::Batch;
-pub use executor::{execute, execute_analyze, execute_with};
+pub use executor::{execute, execute_analyze, execute_with, try_execute_analyze, try_execute_with};
 pub use metrics::OpMetrics;
-pub use morsel::ExecOptions;
-pub use plan::{AggExpr, AggFunc, IndexRange, PhysicalPlan, SemiJoinLeg};
+pub use morsel::{ExecOptions, MorselScheduler, StopReason};
+pub use plan::{AggExpr, AggFunc, IndexRange, PhysicalPlan, PreorderNode, SemiJoinLeg};

@@ -130,6 +130,26 @@ impl AggExpr {
     }
 }
 
+/// One entry of the canonical pre-order flattening produced by
+/// [`PhysicalPlan::preorder`]: the node, its pre-order index, and its
+/// children's pre-order indices.
+///
+/// This numbering — node before children, children in execution order
+/// ([`PhysicalPlan::children`]) — is the *single* coordinate system
+/// shared by `explain()`, `OpMetrics`, the optimizer's `NodeAnnotations`,
+/// guard indices, and `replace_subtree`.  Anything that needs "node
+/// number ↔ plan node" should walk this flattening rather than keeping
+/// its own counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreorderNode<'a> {
+    /// Pre-order index of this node.
+    pub index: usize,
+    /// The plan node itself.
+    pub plan: &'a PhysicalPlan,
+    /// Pre-order indices of this node's children, in execution order.
+    pub children: Vec<usize>,
+}
+
 /// A physical plan node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalPlan {
@@ -339,6 +359,30 @@ impl PhysicalPlan {
         }
     }
 
+    /// The canonical pre-order flattening of the tree: entry `i` describes
+    /// the node with pre-order index `i` and links to its children's
+    /// indices.  Guard-point selection ([`crate::guard_points`]) and the
+    /// optimizer's per-node annotation walk are both built on this, which
+    /// is what keeps their numberings provably aligned.
+    pub fn preorder(&self) -> Vec<PreorderNode<'_>> {
+        fn walk<'a>(plan: &'a PhysicalPlan, out: &mut Vec<PreorderNode<'a>>) -> usize {
+            let my = out.len();
+            out.push(PreorderNode {
+                index: my,
+                plan,
+                children: Vec::new(),
+            });
+            for child in plan.children() {
+                let child_index = walk(child, out);
+                out[my].children.push(child_index);
+            }
+            my
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// Mutable counterpart of [`children`](Self::children), in the same
     /// execution order — used by [`replace_subtree`](Self::replace_subtree)
     /// so the mutable walk visits nodes under the canonical pre-order
@@ -473,6 +517,48 @@ mod tests {
         assert_eq!(plan.shape_label(), "agg(hj(seqscan,seqscan))");
         assert_eq!(plan.to_string(), text.trim_end());
         assert_eq!(plan.node_count(), 4);
+    }
+
+    #[test]
+    fn preorder_matches_explain_order_and_links_children() {
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::HashJoin {
+                build: Box::new(PhysicalPlan::SeqScan {
+                    table: "part".into(),
+                    predicate: None,
+                }),
+                probe: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(PhysicalPlan::SeqScan {
+                        table: "lineitem".into(),
+                        predicate: None,
+                    }),
+                    predicate: Expr::col("l_qty").lt(Expr::lit(5i64)),
+                }),
+                build_key: "p_partkey".into(),
+                probe_key: "l_partkey".into(),
+            }),
+            group_by: vec![],
+            aggregates: vec![],
+        };
+        let nodes = plan.preorder();
+        assert_eq!(nodes.len(), plan.node_count());
+        // Indices are dense and self-describing.
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.index, i);
+        }
+        // Labels line up with explain() line for line.
+        let labels: Vec<String> = nodes.iter().map(|n| n.plan.node_label()).collect();
+        let explain_labels: Vec<String> = plan
+            .explain()
+            .lines()
+            .map(|l| l.trim_start().to_string())
+            .collect();
+        assert_eq!(labels, explain_labels);
+        // 0 agg -> [1 hj]; 1 hj -> [2 scan part, 3 filter]; 3 -> [4 scan].
+        assert_eq!(nodes[0].children, vec![1]);
+        assert_eq!(nodes[1].children, vec![2, 3]);
+        assert_eq!(nodes[2].children, Vec::<usize>::new());
+        assert_eq!(nodes[3].children, vec![4]);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub fn seq_scan(
 /// evaluate the predicate and materialize qualifying rows.  Concatenating
 /// morsel outputs in index order reproduces the serial row order, making
 /// this bit-identical to [`seq_scan`] for every `threads`/`morsel_size`.
+/// Returns `None` when the query's token fired mid-scan.
 pub fn seq_scan_par(
     catalog: &Catalog,
     params: &CostParams,
@@ -50,7 +51,7 @@ pub fn seq_scan_par(
     table: &str,
     predicate: Option<&Expr>,
     opts: &ExecOptions,
-) -> Batch {
+) -> Option<Batch> {
     let t = catalog.table(table).expect("table exists");
     tracker.charge_seq_pages(params.data_pages(t.num_rows(), t.row_width_bytes()));
     tracker.charge_cpu_ops(t.num_rows() as u64);
@@ -64,8 +65,8 @@ pub fn seq_scan_par(
             }
         }
         rows
-    });
-    Batch::from_parts(t.schema().clone(), parts)
+    })?;
+    Some(Batch::from_parts(t.schema().clone(), parts))
 }
 
 /// Resolves one index range to its RID list, charging the index descend
@@ -132,19 +133,19 @@ pub(crate) fn fetch_rows_par(
     tracker: &mut CostTracker,
     mut rids: Vec<Rid>,
     opts: &ExecOptions,
-) -> Vec<Vec<Value>> {
+) -> Option<Vec<Vec<Value>>> {
     rids.sort_unstable();
     rids.dedup();
     tracker.charge_random_ios(distinct_pages(table, params, &rids));
     tracker.charge_cpu_ops(rids.len() as u64);
     let parts = run_morsels(opts, rids.len(), |morsel| -> Vec<Vec<Value>> {
         rids[morsel].iter().map(|&rid| table.row(rid)).collect()
-    });
+    })?;
     let mut rows = Vec::with_capacity(rids.len());
     for part in parts {
         rows.extend(part);
     }
-    rows
+    Some(rows)
 }
 
 /// Index seek: one range, fetch, residual filter.
@@ -156,11 +157,14 @@ pub fn index_seek(
     range: &IndexRange,
     residual: Option<&Expr>,
 ) -> Batch {
-    index_seek_counted(catalog, params, tracker, table, range, residual, None).0
+    index_seek_counted(catalog, params, tracker, table, range, residual, None)
+        .expect("serial index seek has no token to interrupt it")
+        .0
 }
 
 /// Morsel-parallel [`index_seek`]: the index descend and leaf scan stay
 /// serial (they are one B-tree traversal), the row fetch is morselized.
+/// Returns `None` when the query's token fired mid-fetch.
 pub fn index_seek_par(
     catalog: &Catalog,
     params: &CostParams,
@@ -169,13 +173,15 @@ pub fn index_seek_par(
     range: &IndexRange,
     residual: Option<&Expr>,
     opts: &ExecOptions,
-) -> Batch {
-    index_seek_counted(catalog, params, tracker, table, range, residual, Some(opts)).0
+) -> Option<Batch> {
+    index_seek_counted(catalog, params, tracker, table, range, residual, Some(opts))
+        .map(|(batch, _)| batch)
 }
 
 /// [`index_seek`] plus the number of rows fetched before the residual
 /// filter (the deduplicated RID count), which `EXPLAIN ANALYZE` reports
 /// as the operator's `rows_in` and uses to size its morsel count.
+/// `None` means the token fired (impossible when `opts` is `None`).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn index_seek_counted(
     catalog: &Catalog,
@@ -185,11 +191,11 @@ pub(crate) fn index_seek_counted(
     range: &IndexRange,
     residual: Option<&Expr>,
     opts: Option<&ExecOptions>,
-) -> (Batch, usize) {
+) -> Option<(Batch, usize)> {
     let t = catalog.table(table).expect("table exists");
     let rids = rids_for_range(catalog, params, tracker, table, range);
     let mut rows = match opts {
-        Some(o) => fetch_rows_par(t, params, tracker, rids, o),
+        Some(o) => fetch_rows_par(t, params, tracker, rids, o)?,
         None => fetch_rows(t, params, tracker, rids),
     };
     let fetched = rows.len();
@@ -198,7 +204,7 @@ pub(crate) fn index_seek_counted(
         tracker.charge_cpu_ops(rows.len() as u64);
         rows.retain(|row| rqo_expr::eval_bool(&bound, row));
     }
-    (Batch::new(t.schema().clone(), rows), fetched)
+    Some((Batch::new(t.schema().clone(), rows), fetched))
 }
 
 /// Index intersection (the paper's risky plan): resolve each range's RID
@@ -222,12 +228,14 @@ pub fn index_intersection(
     ranges: &[IndexRange],
     residual: Option<&Expr>,
 ) -> Batch {
-    index_intersection_counted(catalog, params, tracker, table, ranges, residual, None).0
+    index_intersection_counted(catalog, params, tracker, table, ranges, residual, None)
+        .expect("serial index intersection has no token to interrupt it")
+        .0
 }
 
 /// Morsel-parallel [`index_intersection`]: the leaf scans and RID-list
 /// intersection stay serial (cheap, order-sensitive), the surviving-row
-/// fetch is morselized.
+/// fetch is morselized.  Returns `None` when the query's token fired.
 #[allow(clippy::too_many_arguments)]
 pub fn index_intersection_par(
     catalog: &Catalog,
@@ -237,7 +245,7 @@ pub fn index_intersection_par(
     ranges: &[IndexRange],
     residual: Option<&Expr>,
     opts: &ExecOptions,
-) -> Batch {
+) -> Option<Batch> {
     index_intersection_counted(
         catalog,
         params,
@@ -247,11 +255,12 @@ pub fn index_intersection_par(
         residual,
         Some(opts),
     )
-    .0
+    .map(|(batch, _)| batch)
 }
 
 /// [`index_intersection`] plus the number of rows fetched after the RID
 /// intersection but before the residual filter, for `EXPLAIN ANALYZE`.
+/// `None` means the token fired (impossible when `opts` is `None`).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn index_intersection_counted(
     catalog: &Catalog,
@@ -261,7 +270,7 @@ pub(crate) fn index_intersection_counted(
     ranges: &[IndexRange],
     residual: Option<&Expr>,
     opts: Option<&ExecOptions>,
-) -> (Batch, usize) {
+) -> Option<(Batch, usize)> {
     assert!(
         ranges.len() >= 2,
         "index intersection needs at least two ranges"
@@ -290,7 +299,7 @@ pub(crate) fn index_intersection_counted(
     }
 
     let mut rows = match opts {
-        Some(o) => fetch_rows_par(t, params, tracker, acc, o),
+        Some(o) => fetch_rows_par(t, params, tracker, acc, o)?,
         None => fetch_rows(t, params, tracker, acc),
     };
     let fetched = rows.len();
@@ -299,7 +308,7 @@ pub(crate) fn index_intersection_counted(
         tracker.charge_cpu_ops(rows.len() as u64);
         rows.retain(|row| rqo_expr::eval_bool(&bound, row));
     }
-    (Batch::new(t.schema().clone(), rows), fetched)
+    Some((Batch::new(t.schema().clone(), rows), fetched))
 }
 
 /// Intersection of two ascending RID lists.
@@ -506,7 +515,7 @@ mod tests {
         for threads in [1, 2, 8] {
             let opts = ExecOptions::with_threads(threads).with_morsel_size(64);
             let mut tp = CostTracker::new();
-            let par = seq_scan_par(&cat, &params, &mut tp, "t", Some(&pred), &opts);
+            let par = seq_scan_par(&cat, &params, &mut tp, "t", Some(&pred), &opts).unwrap();
             assert_eq!(par.rows, serial.rows, "threads={threads}");
             assert_eq!(tp, ts, "threads={threads}");
         }
@@ -517,7 +526,8 @@ mod tests {
         let serial = index_seek(&cat, &params, &mut ts, "t", &range, Some(&residual));
         let mut tp = CostTracker::new();
         let opts = ExecOptions::with_threads(4).with_morsel_size(10);
-        let par = index_seek_par(&cat, &params, &mut tp, "t", &range, Some(&residual), &opts);
+        let par =
+            index_seek_par(&cat, &params, &mut tp, "t", &range, Some(&residual), &opts).unwrap();
         assert_eq!(par.rows, serial.rows);
         assert_eq!(tp, ts);
 
@@ -528,7 +538,8 @@ mod tests {
         let mut ts = CostTracker::new();
         let serial = index_intersection(&cat, &params, &mut ts, "t", &ranges, None);
         let mut tp = CostTracker::new();
-        let par = index_intersection_par(&cat, &params, &mut tp, "t", &ranges, None, &opts);
+        let par =
+            index_intersection_par(&cat, &params, &mut tp, "t", &ranges, None, &opts).unwrap();
         assert_eq!(par.rows, serial.rows);
         assert_eq!(tp, ts);
     }

@@ -53,6 +53,7 @@ pub struct NodeAnnotation {
 pub type NodeAnnotations = Vec<Option<NodeAnnotation>>;
 
 /// What a subtree covers, threaded up the recursion.
+#[derive(Clone)]
 struct Spec {
     tables: Vec<String>,
     predicates: Vec<(String, Expr)>,
@@ -65,36 +66,65 @@ struct Spec {
 /// subtree, in pre-order.  `estimator` should be the same (possibly
 /// hinted) module that produced the plan, so the annotations reproduce
 /// the selectivities the optimizer actually used.
+///
+/// Node numbering comes from [`PhysicalPlan::preorder`] — the one shared
+/// traversal also used by `explain()`, `OpMetrics`, and the executor's
+/// guard points, so all four views of a plan agree on every index.
 pub fn annotate_plan(
     catalog: &Catalog,
     estimator: &dyn CardinalityEstimator,
     query: &Query,
     plan: &PhysicalPlan,
 ) -> NodeAnnotations {
-    let mut out = NodeAnnotations::new();
-    walk(catalog, estimator, query, plan, &mut out);
+    let nodes = plan.preorder();
+    // In pre-order every child's index is greater than its parent's, so a
+    // reverse-index sweep sees each node's children fully derived.
+    let mut specs: Vec<Option<Spec>> = vec![None; nodes.len()];
+    for i in (0..nodes.len()).rev() {
+        specs[i] = Some(derive_spec(query, &nodes, &specs, i));
+    }
+
+    let mut out: NodeAnnotations = vec![None; nodes.len()];
+    for i in (0..nodes.len()).rev() {
+        if let PhysicalPlan::HashAggregate { group_by, .. } = nodes[i].plan {
+            // Mirror the planner's group-count heuristic: one row for a
+            // scalar aggregate, √(input estimate) for a grouped one.  A
+            // value-only annotation — aggregates have no feedback key.
+            let input_est = out[nodes[i].children[0]].as_ref().map(|a| a.est_rows);
+            let est = if group_by.is_empty() {
+                Some(1.0)
+            } else {
+                input_est.map(|e| e.sqrt().max(1.0))
+            };
+            out[i] = est.map(|est_rows| NodeAnnotation {
+                est_rows,
+                root_rows: 0.0,
+                tables: vec![],
+                predicates: vec![],
+            });
+        } else {
+            out[i] = annotation_for(catalog, estimator, specs[i].as_ref().expect("derived"));
+        }
+    }
     out
 }
 
-/// Estimated output rows per node in pre-order (`None` where no estimate
-/// could be derived) — the shape [`rqo_exec::OpMetrics::annotate`] takes.
-pub fn estimates_only(annotations: &NodeAnnotations) -> Vec<Option<f64>> {
-    annotations
-        .iter()
-        .map(|a| a.as_ref().map(|a| a.est_rows))
-        .collect()
-}
-
-fn walk(
-    catalog: &Catalog,
-    estimator: &dyn CardinalityEstimator,
+/// Derives one node's estimation spec from its own shape plus its
+/// children's already-derived specs (`specs[child]` is `Some` for every
+/// child because the caller sweeps in reverse pre-order).
+fn derive_spec(
     query: &Query,
-    plan: &PhysicalPlan,
-    out: &mut NodeAnnotations,
+    nodes: &[rqo_exec::PreorderNode<'_>],
+    specs: &[Option<Spec>],
+    i: usize,
 ) -> Spec {
-    let idx = out.len();
-    out.push(None);
-    let spec = match plan {
+    let node = &nodes[i];
+    let child = |k: usize| -> Spec {
+        specs[node.children[k]]
+            .clone()
+            .expect("children derived before parents in reverse pre-order")
+    };
+    match node.plan {
         PhysicalPlan::SeqScan { table, predicate } => Spec {
             tables: vec![table.clone()],
             predicates: predicate
@@ -118,8 +148,8 @@ fn walk(
                 known: true,
             }
         }
-        PhysicalPlan::Filter { input, predicate } => {
-            let mut spec = walk(catalog, estimator, query, input, out);
+        PhysicalPlan::Filter { predicate, .. } => {
+            let mut spec = child(0);
             // Attribute the filter to the covered table whose query
             // predicate it is (the enumerator only emits such filters:
             // the INL inner predicate, the star fact predicate).
@@ -142,23 +172,14 @@ fn walk(
             }
             spec
         }
-        PhysicalPlan::Project { input, .. } => walk(catalog, estimator, query, input, out),
-        PhysicalPlan::HashJoin { build, probe, .. } => {
-            let b = walk(catalog, estimator, query, build, out);
-            let p = walk(catalog, estimator, query, probe, out);
-            merge_specs(b, p)
-        }
-        PhysicalPlan::MergeJoin { left, right, .. } => {
-            let l = walk(catalog, estimator, query, left, out);
-            let r = walk(catalog, estimator, query, right, out);
-            merge_specs(l, r)
+        PhysicalPlan::Project { .. } | PhysicalPlan::HashAggregate { .. } => child(0),
+        PhysicalPlan::HashJoin { .. } | PhysicalPlan::MergeJoin { .. } => {
+            merge_specs(child(0), child(1))
         }
         // The inner predicate (if any) is applied by a Filter *above* the
         // join, so only the outer side's predicates count here.
-        PhysicalPlan::IndexedNlJoin {
-            outer, inner_table, ..
-        } => {
-            let mut spec = walk(catalog, estimator, query, outer, out);
+        PhysicalPlan::IndexedNlJoin { inner_table, .. } => {
+            let mut spec = child(0);
             spec.tables.push(inner_table.clone());
             spec
         }
@@ -183,34 +204,16 @@ fn walk(
                 .collect(),
             known: true,
         },
-        PhysicalPlan::HashAggregate {
-            input, group_by, ..
-        } => {
-            let spec = walk(catalog, estimator, query, input, out);
-            // Mirror the planner's group-count heuristic: one row for a
-            // scalar aggregate, √(input estimate) for a grouped one.
-            let input_est = out
-                .get(idx + 1)
-                .and_then(|a| a.as_ref())
-                .map(|a| a.est_rows);
-            let est = if group_by.is_empty() {
-                Some(1.0)
-            } else {
-                input_est.map(|e| e.sqrt().max(1.0))
-            };
-            if let Some(est_rows) = est {
-                out[idx] = Some(NodeAnnotation {
-                    est_rows,
-                    root_rows: 0.0,
-                    tables: vec![],
-                    predicates: vec![],
-                });
-            }
-            return spec;
-        }
-    };
-    out[idx] = annotation_for(catalog, estimator, &spec);
-    spec
+    }
+}
+
+/// Estimated output rows per node in pre-order (`None` where no estimate
+/// could be derived) — the shape [`rqo_exec::OpMetrics::annotate`] takes.
+pub fn estimates_only(annotations: &NodeAnnotations) -> Vec<Option<f64>> {
+    annotations
+        .iter()
+        .map(|a| a.as_ref().map(|a| a.est_rows))
+        .collect()
 }
 
 fn merge_specs(a: Spec, b: Spec) -> Spec {

@@ -236,6 +236,18 @@ impl PlanCache {
     /// both insert; planning is deterministic, so the second insert
     /// replaces an identical entry and either handle is correct.
     pub fn insert(&self, fingerprint: PlanFingerprint, planned: PlannedQuery) -> Arc<PlannedQuery> {
+        self.insert_shared(fingerprint, Arc::new(planned))
+    }
+
+    /// [`insert`](Self::insert) for a plan that is already shared.  The
+    /// query service plans *before* executing but caches only *after* a
+    /// successful (non-cancelled) execution, by which point it holds an
+    /// `Arc` — this entry point avoids cloning the whole plan back out.
+    pub fn insert_shared(
+        &self,
+        fingerprint: PlanFingerprint,
+        planned: Arc<PlannedQuery>,
+    ) -> Arc<PlannedQuery> {
         let mut priced_at = HashMap::new();
         for ann in planned.node_annotations.iter().flatten() {
             if ann.predicates.is_empty() || ann.root_rows <= 0.0 {
@@ -251,7 +263,6 @@ impl PlanCache {
             priced_at.insert(key, (ann.est_rows / ann.root_rows).clamp(0.0, 1.0));
         }
 
-        let planned = Arc::new(planned);
         let mut inner = self.write();
         // Replacing an entry must drop its old reverse-index edges first,
         // or keys priced only by the displaced plan would dangle.

@@ -1,0 +1,628 @@
+//! The shared query engine: catalog + statistics + optimizer + executor
+//! behind cancellation-aware entry points.
+//!
+//! This is the single-tenant `RobustDb` core, factored out so that one
+//! engine can be shared by many concurrent sessions through
+//! [`QueryService`](crate::QueryService).  Every execution entry point
+//! takes [`ExecOptions`] (carrying the query's token and the shared
+//! worker-pool scheduler) and returns `Result<_, StopReason>`: a
+//! cancelled or past-deadline query surfaces as `Err` instead of a
+//! result.
+//!
+//! # Cancellation hygiene
+//!
+//! A stopped query must look — to every shared structure — as if it never
+//! ran:
+//!
+//! * [`run_opts`](Engine::run_opts) plans on a cache miss but publishes
+//!   the plan into the [`PlanCache`] only **after** a successful
+//!   execution;
+//! * [`explain_analyze_opts`](Engine::explain_analyze_opts) publishes the
+//!   fresh plan, the feedback observations, and the drift checks only
+//!   after the run completes;
+//! * [`run_adaptive_opts`](Engine::run_adaptive_opts) records trip
+//!   observations into a private [`FeedbackStore::fork`] (which the
+//!   mid-query re-plans read), and replays them onto the shared store —
+//!   and through the plan cache's drift rule — only when the query
+//!   completes.  A query cancelled between re-plans leaves the shared
+//!   feedback store and cache byte-identical to never having started.
+
+use std::sync::Arc;
+
+use rqo_core::{
+    AdaptivePolicy, ConfidenceThreshold, EstimatorConfig, FeedbackStore, QueryToken,
+    RobustEstimator, RobustnessLevel, StopReason,
+};
+use rqo_exec::{
+    execute_guarded, guard_points, Batch, ExecOptions, ExecStatus, MorselScheduler, OpMetrics,
+    PhysicalPlan, RowGuard,
+};
+use rqo_optimizer::{
+    CacheStats, MaterializedFragment, NodeAnnotation, Optimizer, PlanCache, PlanFingerprint,
+    PlannedQuery, Query,
+};
+use rqo_stats::SynopsisRepository;
+use rqo_storage::{Catalog, CostParams, CostTracker, Value};
+
+/// The result of running one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The plan the optimizer chose.
+    pub plan: PhysicalPlan,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Simulated execution time in seconds under the database's cost
+    /// parameters.
+    pub simulated_seconds: f64,
+    /// The optimizer's own cost estimate, in seconds, for comparison.
+    pub estimated_seconds: f64,
+}
+
+/// The result of `EXPLAIN ANALYZE`: a [`QueryOutcome`] plus the
+/// per-operator metrics tree, annotated with the optimizer's own
+/// cardinality estimates so every node reports estimate vs. actual and
+/// the q-error between them.
+#[derive(Debug, Clone)]
+pub struct AnalyzedOutcome {
+    /// The ordinary query result.
+    pub outcome: QueryOutcome,
+    /// Per-operator metrics, in the same tree shape as the plan.
+    pub metrics: OpMetrics,
+}
+
+impl AnalyzedOutcome {
+    /// Renders the annotated plan tree — the `EXPLAIN ANALYZE` output.
+    ///
+    /// Deterministic: identical at every thread count and morsel size for
+    /// the same database and query.
+    pub fn render(&self) -> String {
+        self.metrics.render()
+    }
+}
+
+/// One mid-query re-plan, as recorded by adaptive execution.
+#[derive(Debug, Clone)]
+pub struct ReplanEvent {
+    /// Pre-order index of the tripped guard's node in the plan that was
+    /// executing when the guard fired.
+    pub node: usize,
+    /// Operator label of the tripped node.
+    pub label: String,
+    /// Output rows the plan priced the node at.
+    pub est_rows: f64,
+    /// Rows actually materialized at the pipeline breaker.
+    pub actual_rows: u64,
+    /// q-error between them (> the policy's guard bound, by construction).
+    pub q_error: f64,
+    /// Confidence threshold the tripped plan was optimized at.
+    pub threshold_before: ConfidenceThreshold,
+    /// Escalated threshold the re-plan was optimized at.
+    pub threshold_after: ConfidenceThreshold,
+    /// Observed selectivities fed back before re-planning.
+    pub observations: usize,
+    /// Whether the re-plan grafted a `Materialized` leaf over the
+    /// finished fragment (`false` ⇒ the fresh plan had no matching
+    /// subtree and recomputes from scratch — correct, just not resumed).
+    pub resumed: bool,
+    /// Shape of the plan that tripped.
+    pub old_shape: String,
+    /// Shape of the re-planned query.
+    pub new_shape: String,
+}
+
+impl ReplanEvent {
+    /// Renders the event as one log paragraph (deterministic).
+    pub fn render(&self) -> String {
+        format!(
+            "guard tripped at node {} [{}]: est {:.1} rows, actual {} rows, q-error {:.2}\n  \
+             threshold {}% -> {}%; {} observation(s) fed back; {}\n  \
+             plan: {} -> {}",
+            self.node,
+            self.label,
+            self.est_rows,
+            self.actual_rows,
+            self.q_error,
+            self.threshold_before.percent(),
+            self.threshold_after.percent(),
+            self.observations,
+            if self.resumed {
+                "resumed from materialized checkpoint"
+            } else {
+                "no matching subtree, recomputing"
+            },
+            self.old_shape,
+            self.new_shape,
+        )
+    }
+}
+
+/// The result of adaptive execution: the query outcome, the re-plan
+/// event log, and the metrics tree of the final (completed) execution.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// The ordinary query result.  `plan` is the plan that ran to
+    /// completion; `simulated_seconds` is the **total** tracked cost
+    /// including all partial executions before re-plans, and
+    /// `estimated_seconds` is the first plan's estimate.
+    pub outcome: QueryOutcome,
+    /// One entry per guard trip, in order.
+    pub events: Vec<ReplanEvent>,
+    /// Per-operator metrics of the completed execution, annotated with
+    /// the final plan's estimates.
+    pub metrics: OpMetrics,
+}
+
+impl AdaptiveOutcome {
+    /// Number of mid-query re-plans that occurred.
+    pub fn replans(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Renders the re-plan event log followed by the final plan's
+    /// annotated metrics tree.  Deterministic: identical at every thread
+    /// count for the same database and query.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "adaptive execution: {} re-plan(s)\n",
+            self.replans()
+        ));
+        for (i, event) in self.events.iter().enumerate() {
+            out.push_str(&format!("[{}] {}\n", i + 1, event.render()));
+        }
+        out.push_str("final plan:\n");
+        out.push_str(&self.metrics.render());
+        out
+    }
+}
+
+/// The shared query engine: catalog, precomputed join synopses, robust
+/// optimizer, feedback store, and plan cache.  All execution entry
+/// points take `&self` — one engine serves any number of threads.
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    params: CostParams,
+    synopses: Arc<SynopsisRepository>,
+    threshold: ConfidenceThreshold,
+    sample_size: usize,
+    seed: u64,
+    exec_options: ExecOptions,
+    feedback: Arc<FeedbackStore>,
+    plan_cache: Arc<PlanCache>,
+    adaptive_policy: AdaptivePolicy,
+}
+
+impl Engine {
+    /// Builds the engine over a catalog, precomputing 500-tuple join
+    /// synopses (the paper's recommended size) for every table.
+    pub fn new(catalog: Catalog) -> Self {
+        Self::with_options(catalog, CostParams::default(), 500, 0xD5)
+    }
+
+    /// Full-control constructor: cost parameters, synopsis sample size,
+    /// and sampling seed.
+    pub fn with_options(
+        catalog: Catalog,
+        params: CostParams,
+        sample_size: usize,
+        seed: u64,
+    ) -> Self {
+        let catalog = Arc::new(catalog);
+        let synopses = Arc::new(SynopsisRepository::build_all(&catalog, sample_size, seed));
+        Self {
+            catalog,
+            params,
+            synopses,
+            threshold: RobustnessLevel::Moderate.threshold(),
+            sample_size,
+            seed,
+            exec_options: ExecOptions::default(),
+            feedback: Arc::new(FeedbackStore::new()),
+            plan_cache: Arc::new(PlanCache::default()),
+            adaptive_policy: AdaptivePolicy::default(),
+        }
+    }
+
+    /// Sets the adaptive re-optimization policy.
+    pub fn set_adaptive_policy(&mut self, policy: AdaptivePolicy) {
+        self.adaptive_policy = policy;
+    }
+
+    /// The active adaptive re-optimization policy.
+    pub fn adaptive_policy(&self) -> &AdaptivePolicy {
+        &self.adaptive_policy
+    }
+
+    /// Sets the base executor options (threads, morsel size).  The
+    /// service layer overlays a token and the shared scheduler per query.
+    pub fn set_exec_options(&mut self, exec_options: ExecOptions) {
+        self.exec_options = exec_options;
+    }
+
+    /// The base executor options.
+    pub fn exec_options(&self) -> &ExecOptions {
+        &self.exec_options
+    }
+
+    /// Sets the system-wide robustness preset.
+    pub fn set_robustness(&mut self, level: RobustnessLevel) {
+        self.threshold = level.threshold();
+    }
+
+    /// Sets an explicit confidence threshold.
+    pub fn set_threshold(&mut self, threshold: ConfidenceThreshold) {
+        self.threshold = threshold;
+    }
+
+    /// Replaces the plan cache with an empty one using `bound` as its
+    /// drift bound.
+    pub fn set_drift_bound(&mut self, bound: f64) {
+        self.plan_cache = Arc::new(PlanCache::new(bound));
+    }
+
+    /// Re-draws the precomputed samples (the `UPDATE STATISTICS`
+    /// analogue).  Advances the statistics epoch, which invalidates
+    /// recorded feedback and cached plans.
+    pub fn refresh_statistics(&mut self, seed: u64) {
+        self.seed = seed;
+        self.synopses = Arc::new(SynopsisRepository::build_all(
+            &self.catalog,
+            self.sample_size,
+            seed,
+        ));
+        let epoch = self.feedback.advance_epoch();
+        self.plan_cache.invalidate_epochs_before(epoch);
+    }
+
+    /// The current statistics epoch: 0 at construction, bumped by every
+    /// [`refresh_statistics`](Self::refresh_statistics).
+    pub fn stats_epoch(&self) -> u64 {
+        self.feedback.epoch()
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The cost parameters execution is charged under.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// The active confidence threshold.
+    pub fn threshold(&self) -> ConfidenceThreshold {
+        self.threshold
+    }
+
+    /// The execution-feedback store.
+    pub fn feedback(&self) -> &Arc<FeedbackStore> {
+        &self.feedback
+    }
+
+    /// The shared plan cache.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// A point-in-time snapshot of the plan cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// An optimizer bound to this engine's statistics, threshold, and
+    /// shared feedback store.
+    pub fn optimizer(&self) -> Optimizer {
+        self.optimizer_with_feedback(Arc::clone(&self.feedback))
+    }
+
+    /// An optimizer reading `feedback` instead of the shared store —
+    /// adaptive re-plans pass a private fork here so their tentative
+    /// observations steer the re-plan without touching shared state.
+    pub fn optimizer_with_feedback(&self, feedback: Arc<FeedbackStore>) -> Optimizer {
+        let est = RobustEstimator::new(
+            Arc::clone(&self.synopses),
+            EstimatorConfig::with_threshold(self.threshold),
+        )
+        .with_feedback(feedback);
+        Optimizer::new(Arc::clone(&self.catalog), self.params, Arc::new(est))
+    }
+
+    /// The fingerprint under which this engine would cache a query's
+    /// plan right now.
+    pub fn fingerprint(&self, query: &Query) -> PlanFingerprint {
+        PlanFingerprint::of(query, self.threshold, self.feedback.epoch())
+    }
+
+    /// Optimizes a query through the shared plan cache: a hit returns
+    /// the memoized plan; a miss plans fresh and caches **immediately**
+    /// (no execution is involved, so there is no cancellation window).
+    pub fn optimize(&self, query: &Query) -> Arc<PlannedQuery> {
+        let fingerprint = self.fingerprint(query);
+        if let Some(planned) = self.plan_cache.get(&fingerprint) {
+            return planned;
+        }
+        let planned = self.optimizer().optimize(query);
+        self.plan_cache.insert(fingerprint, planned)
+    }
+
+    /// Per-query executor options: the engine's base options overlaid
+    /// with the query's token and (when pooled) the shared scheduler.
+    pub fn query_exec_options(
+        &self,
+        token: Option<QueryToken>,
+        scheduler: Option<Arc<dyn MorselScheduler>>,
+    ) -> ExecOptions {
+        let mut opts = self.exec_options.clone();
+        if let Some(token) = token {
+            opts = opts.with_token(token);
+        }
+        if let Some(scheduler) = scheduler {
+            opts = opts.with_scheduler(scheduler);
+        }
+        opts
+    }
+
+    fn outcome(&self, planned: &PlannedQuery, batch: Batch, seconds: f64) -> QueryOutcome {
+        let Batch { schema, rows } = batch;
+        QueryOutcome {
+            plan: planned.plan.clone(),
+            columns: schema.names().iter().map(|s| s.to_string()).collect(),
+            rows,
+            simulated_seconds: seconds,
+            estimated_seconds: planned.estimated_cost_ms / 1000.0,
+        }
+    }
+
+    /// Optimizes (through the plan cache) and executes a query.  On a
+    /// cache miss the fresh plan is cached only after the execution
+    /// completes, so a stopped query never publishes anything.
+    pub fn run_opts(&self, query: &Query, opts: &ExecOptions) -> Result<QueryOutcome, StopReason> {
+        let fingerprint = self.fingerprint(query);
+        let cached = self.plan_cache.get(&fingerprint);
+        let planned = match &cached {
+            Some(planned) => Arc::clone(planned),
+            None => Arc::new(self.optimizer().optimize(query)),
+        };
+        let (batch, cost) =
+            rqo_exec::try_execute_with(&planned.plan, &self.catalog, &self.params, opts)?;
+        if cached.is_none() {
+            self.plan_cache
+                .insert_shared(fingerprint, Arc::clone(&planned));
+        }
+        Ok(self.outcome(&planned, batch, cost.seconds(&self.params)))
+    }
+
+    /// The observed selectivity of one annotated node, floored at half a
+    /// tuple: a zero-row result is evidence the selectivity is *small*,
+    /// not that it is exactly 0.0.
+    fn observation(ann: &NodeAnnotation, rows_out: u64) -> Option<f64> {
+        if ann.predicates.is_empty() || ann.root_rows <= 0.0 {
+            return None;
+        }
+        Some(((rows_out as f64).max(0.5) / ann.root_rows).clamp(0.0, 1.0))
+    }
+
+    /// Publishes one observation into the shared feedback store and the
+    /// plan cache's drift check.  Returns whether the node had a
+    /// recordable estimation request.
+    fn record_observation(&self, rows_out: u64, ann: &NodeAnnotation) -> bool {
+        let Some(observed) = Self::observation(ann, rows_out) else {
+            return false;
+        };
+        let tables: Vec<&str> = ann.tables.iter().map(String::as_str).collect();
+        let predicates: Vec<_> = ann
+            .predicates
+            .iter()
+            .map(|(t, e)| (t.as_str(), e))
+            .collect();
+        self.feedback.record(&tables, &predicates, observed);
+        let key = FeedbackStore::canonical_key(&tables, &predicates);
+        self.plan_cache.observe(&key, observed);
+        true
+    }
+
+    /// Records one observation into a *private* store only — no drift
+    /// check, nothing shared.  The adaptive path uses this for its fork.
+    fn record_tentative(store: &FeedbackStore, rows_out: u64, ann: &NodeAnnotation) -> bool {
+        let Some(observed) = Self::observation(ann, rows_out) else {
+            return false;
+        };
+        let tables: Vec<&str> = ann.tables.iter().map(String::as_str).collect();
+        let predicates: Vec<_> = ann
+            .predicates
+            .iter()
+            .map(|(t, e)| (t.as_str(), e))
+            .collect();
+        store.record(&tables, &predicates, observed);
+        true
+    }
+
+    /// Runs a query with **mid-query adaptive re-optimization** under the
+    /// engine's [`AdaptivePolicy`].  See the module docs for the
+    /// cancellation hygiene; completed runs behave exactly like the
+    /// single-tenant adaptive path (same trips, same re-plans, same
+    /// published feedback and drift evictions).
+    pub fn run_adaptive_opts(
+        &self,
+        query: &Query,
+        opts: &ExecOptions,
+    ) -> Result<AdaptiveOutcome, StopReason> {
+        let policy = self.adaptive_policy.clone();
+        let mut threshold = query.hint.unwrap_or(self.threshold);
+        let fingerprint = self.fingerprint(query);
+        let cached = self.plan_cache.get(&fingerprint);
+        let initial = match &cached {
+            Some(planned) => Arc::clone(planned),
+            None => Arc::new(self.optimizer().optimize(query)),
+        };
+        let mut planned = Arc::clone(&initial);
+        let estimated_seconds = planned.estimated_cost_ms / 1000.0;
+        let mut tracker = CostTracker::new();
+        let mut events: Vec<ReplanEvent> = Vec::new();
+        let mut slots: Vec<Batch> = Vec::new();
+        // Tentative state: the fork steers mid-query re-plans; `pending`
+        // is replayed onto the shared store only on completion.
+        let fork = Arc::new(self.feedback.fork());
+        let mut pending: Vec<(u64, NodeAnnotation)> = Vec::new();
+
+        loop {
+            // Guards stay armed while the re-plan budget lasts; the final
+            // permitted execution runs unguarded to completion.
+            let guards: Vec<RowGuard> = if policy.is_enabled() && events.len() < policy.max_replans
+            {
+                guard_points(&planned.plan)
+                    .into_iter()
+                    .filter_map(|idx| {
+                        let ann = planned.node_annotations.get(idx)?.as_ref()?;
+                        (!ann.tables.is_empty()).then_some(RowGuard {
+                            node: idx,
+                            est_rows: ann.est_rows,
+                            bound: policy.guard_bound,
+                        })
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let status = execute_guarded(
+                &planned.plan,
+                &self.catalog,
+                &self.params,
+                opts,
+                &guards,
+                &slots,
+                &mut tracker,
+            );
+            match status {
+                ExecStatus::Complete { batch, mut metrics } => {
+                    // Publish: the initial plan first (it is what the
+                    // fingerprint priced), then the observations — whose
+                    // drift checks may immediately evict it, exactly as
+                    // if they had been recorded live.
+                    if cached.is_none() {
+                        self.plan_cache
+                            .insert_shared(fingerprint.clone(), Arc::clone(&initial));
+                    }
+                    for (rows_out, ann) in &pending {
+                        self.record_observation(*rows_out, ann);
+                    }
+                    metrics.annotate(&planned.node_estimates());
+                    let seconds = tracker.seconds(&self.params);
+                    let mut outcome = self.outcome(&planned, batch, seconds);
+                    outcome.estimated_seconds = estimated_seconds;
+                    return Ok(AdaptiveOutcome {
+                        outcome,
+                        events,
+                        metrics,
+                    });
+                }
+                ExecStatus::Stopped(reason) => return Err(reason),
+                ExecStatus::Tripped(trip) => {
+                    // The tripped node's subtree is complete: record its
+                    // observed selectivities into the fork (for the
+                    // re-plan) and queue them for publication.  In
+                    // pre-order a subtree is a contiguous block starting
+                    // at its root, so the subtree's metrics zip with the
+                    // annotations from `trip.node` on.
+                    let mut observations = 0;
+                    for (node, annotation) in trip
+                        .metrics
+                        .preorder()
+                        .iter()
+                        .zip(&planned.node_annotations[trip.node..])
+                    {
+                        let Some(ann) = annotation else { continue };
+                        if Self::record_tentative(&fork, node.rows_out, ann) {
+                            observations += 1;
+                            pending.push((node.rows_out, ann.clone()));
+                        }
+                    }
+                    let before = threshold;
+                    threshold = policy.escalate(threshold, events.len());
+                    let ann = planned.node_annotations[trip.node]
+                        .as_ref()
+                        .expect("guards are only armed on annotated nodes");
+                    let fragment = MaterializedFragment::from_annotation(ann, slots.len());
+                    // Re-plan directly — NOT through `optimize` — so the
+                    // grafted plan never enters the plan cache; and
+                    // against the fork, so a later cancellation leaves
+                    // the shared store untouched.
+                    let replan_query = query.clone().with_hint(threshold);
+                    let (new_planned, resumed) = self
+                        .optimizer_with_feedback(Arc::clone(&fork))
+                        .replan_with_materialized(&replan_query, &fragment);
+                    events.push(ReplanEvent {
+                        node: trip.node,
+                        label: trip.metrics.label.clone(),
+                        est_rows: trip.est_rows,
+                        actual_rows: trip.actual_rows,
+                        q_error: trip.q_error,
+                        threshold_before: before,
+                        threshold_after: threshold,
+                        observations,
+                        resumed,
+                        old_shape: planned.shape(),
+                        new_shape: new_planned.shape(),
+                    });
+                    if resumed {
+                        slots.push(trip.batch);
+                    }
+                    planned = Arc::new(new_planned);
+                }
+            }
+        }
+    }
+
+    /// `EXPLAIN ANALYZE`: plans fresh, executes, and — only after the
+    /// run completes — caches the fresh plan, records every annotated
+    /// operator's observed selectivity into the shared feedback store,
+    /// and feeds each observation through the plan cache's drift check.
+    pub fn explain_analyze_opts(
+        &self,
+        query: &Query,
+        opts: &ExecOptions,
+    ) -> Result<AnalyzedOutcome, StopReason> {
+        let planned = Arc::new(self.optimizer().optimize(query));
+        let (batch, cost, mut metrics) =
+            rqo_exec::try_execute_analyze(&planned.plan, &self.catalog, &self.params, opts)?;
+        let planned = self
+            .plan_cache
+            .insert_shared(self.fingerprint(query), planned);
+        metrics.annotate(&planned.node_estimates());
+
+        // Record observed selectivities: each annotated node's actual
+        // output cardinality, relative to the root relation the planner
+        // priced it against, keyed by the exact (tables, predicates)
+        // request the estimator answered during planning.
+        for (node, annotation) in metrics.preorder().iter().zip(&planned.node_annotations) {
+            let Some(ann) = annotation else { continue };
+            self.record_observation(node.rows_out, ann);
+        }
+
+        let outcome = self.outcome(&planned, batch, cost.seconds(&self.params));
+        Ok(AnalyzedOutcome { outcome, metrics })
+    }
+
+    /// A **side-effect-free** `EXPLAIN ANALYZE`: plans fresh (bypassing
+    /// the cache and its counters), executes with metrics, and publishes
+    /// nothing — no cache insert, no feedback, no drift checks.  Because
+    /// planning is deterministic given the engine's current statistics
+    /// and feedback, any number of concurrent `analyze_quiet` calls for
+    /// the same query return bit-identical plans, rows, metrics, and
+    /// tracked costs — the property the service differential tests pin.
+    pub fn analyze_quiet(
+        &self,
+        query: &Query,
+        opts: &ExecOptions,
+    ) -> Result<AnalyzedOutcome, StopReason> {
+        let planned = self.optimizer().optimize(query);
+        let (batch, cost, mut metrics) =
+            rqo_exec::try_execute_analyze(&planned.plan, &self.catalog, &self.params, opts)?;
+        metrics.annotate(&planned.node_estimates());
+        let outcome = self.outcome(&planned, batch, cost.seconds(&self.params));
+        Ok(AnalyzedOutcome { outcome, metrics })
+    }
+}

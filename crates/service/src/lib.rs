@@ -1,0 +1,37 @@
+//! `rqo-service` — the concurrent query service.
+//!
+//! Everything below `rqo-service` in the crate graph is single-query:
+//! the optimizer plans one query, the executor runs one plan.  This
+//! crate adds the *multi-session* layer a server needs:
+//!
+//! - **[`Engine`]** owns the shared per-database state (catalog,
+//!   synopses, plan cache, feedback store) and exposes
+//!   cancellation-aware `*_opts` entry points with strict publication
+//!   hygiene: a stopped query never inserts into the plan cache, never
+//!   records feedback observations, and never drift-evicts entries.
+//! - **[`WorkerPool`]** is one long-lived pool of morsel workers shared
+//!   by every running query, scheduling round-robin across queries
+//!   (one morsel per pick) so short queries are not starved by long
+//!   ones.  It replaces the executor's default per-query scoped
+//!   threads when a service is in front.
+//! - **[`QueryService`]** ties them together with admission control
+//!   (bounded concurrency, bounded wait queue with timeout) and
+//!   deadline/cancellation propagation from [`QueryHandle`] tokens
+//!   into every morsel loop, plus [`ServiceStats`] counters.
+//!
+//! Single-tenant equivalence is a hard invariant: a query run through
+//! the service returns bit-identical rows, operator metrics, and
+//! tracked cost to the same query run on a standalone engine,
+//! regardless of pool size or how many clients run concurrently.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod pool;
+pub mod service;
+
+pub use engine::{AdaptiveOutcome, AnalyzedOutcome, Engine, QueryOutcome, ReplanEvent};
+pub use pool::WorkerPool;
+pub use service::{QueryHandle, QueryService, ServiceError, ServiceStats, Session};
+
+pub use rqo_core::{QueryToken, ServiceConfig, StopReason};

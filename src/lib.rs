@@ -27,6 +27,7 @@
 //! | [`estimator`] | **the paper's contribution**: posteriors, thresholds, robust estimator |
 //! | [`exec`] | physical operators charging the cost model |
 //! | [`optimizer`] | access paths, DP join enumeration, star semijoins |
+//! | [`service`] | concurrent query service: shared worker pool, admission control |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,33 @@
 //! println!("revenue = {}, simulated time = {:.3}s",
 //!          outcome.rows[0][0], outcome.simulated_seconds);
 //! ```
+//!
+//! # Serving many clients
+//!
+//! [`RobustDb`] is the single-tenant handle.  To serve concurrent
+//! clients — one shared worker pool, admission control, per-query
+//! deadlines and cancellation — convert it into a service:
+//!
+//! ```
+//! use std::time::Duration;
+//! use robust_qo::prelude::*;
+//!
+//! let data = TpchData::generate(&TpchConfig { scale_factor: 0.002, seed: 1 });
+//! let service = RobustDb::new(data.into_catalog())
+//!     .into_service(ServiceConfig::default().with_max_concurrent(4));
+//! let session = service.session();
+//!
+//! let query = Query::over(&["lineitem"])
+//!     .filter("lineitem", exp1_lineitem_predicate(30))
+//!     .aggregate(AggExpr::count_star("n"));
+//! let outcome = session.run(&query).expect("no deadline, no cancellation");
+//! assert_eq!(outcome.rows.len(), 1);
+//!
+//! // A handle makes the query cancellable / deadline-bounded.
+//! let handle = QueryHandle::with_deadline(Duration::from_secs(30));
+//! let _ = session.run_with(&query, &handle);
+//! println!("{}", service.stats());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -57,17 +85,26 @@ pub use rqo_exec as exec;
 pub use rqo_expr as expr;
 pub use rqo_math as math;
 pub use rqo_optimizer as optimizer;
+pub use rqo_service as service;
 pub use rqo_stats as stats;
 pub use rqo_storage as storage;
 
+pub use rqo_service::{
+    AdaptiveOutcome, AnalyzedOutcome, Engine, QueryHandle, QueryOutcome, QueryService, ReplanEvent,
+    ServiceError, ServiceStats, Session,
+};
+
 /// One-stop imports for applications and the examples.
 pub mod prelude {
-    pub use crate::{AdaptiveOutcome, AnalyzedOutcome, QueryOutcome, ReplanEvent, RobustDb};
+    pub use crate::{
+        AdaptiveOutcome, AnalyzedOutcome, Engine, QueryHandle, QueryOutcome, QueryService,
+        ReplanEvent, RobustDb, ServiceError, ServiceStats, Session,
+    };
     pub use rqo_core::{
         AdaptivePolicy, CardinalityEstimator, ConfidenceThreshold,
         DistributionalHistogramEstimator, EstimateSource, EstimationRequest, EstimatorConfig,
-        FeedbackStore, HistogramEstimator, MagicPolicy, OnTheFlyEstimator, Prior, RobustEstimator,
-        RobustnessLevel, SelectivityPosterior,
+        FeedbackStore, HistogramEstimator, MagicPolicy, OnTheFlyEstimator, Prior, QueryToken,
+        RobustEstimator, RobustnessLevel, SelectivityPosterior, ServiceConfig, StopReason,
     };
     pub use rqo_datagen::workload::{
         exp1_lineitem_predicate, exp2_part_predicate, exp3_dim_predicate, true_selectivity,
@@ -83,181 +120,36 @@ pub mod prelude {
     };
 }
 
+use rqo_core::{
+    AdaptivePolicy, ConfidenceThreshold, FeedbackStore, RobustnessLevel, ServiceConfig,
+};
+use rqo_exec::ExecOptions;
+use rqo_optimizer::{CacheStats, Optimizer, PlanCache, PlanFingerprint, PlannedQuery, Query};
+use rqo_storage::{Catalog, CostParams};
 use std::sync::Arc;
 
-use rqo_core::{
-    AdaptivePolicy, ConfidenceThreshold, EstimatorConfig, FeedbackStore, RobustEstimator,
-    RobustnessLevel,
-};
-use rqo_exec::{
-    execute_guarded, guard_points, Batch, ExecOptions, ExecStatus, OpMetrics, PhysicalPlan,
-    RowGuard,
-};
-use rqo_optimizer::{
-    CacheStats, MaterializedFragment, Optimizer, PlanCache, PlanFingerprint, PlannedQuery, Query,
-};
-use rqo_stats::SynopsisRepository;
-use rqo_storage::{Catalog, CostParams, CostTracker, Value};
-
-/// The result of running one query through [`RobustDb`].
-#[derive(Debug, Clone)]
-pub struct QueryOutcome {
-    /// The plan the optimizer chose.
-    pub plan: PhysicalPlan,
-    /// Result rows.
-    pub rows: Vec<Vec<Value>>,
-    /// Output column names.
-    pub columns: Vec<String>,
-    /// Simulated execution time in seconds under the database's cost
-    /// parameters.
-    pub simulated_seconds: f64,
-    /// The optimizer's own cost estimate, in seconds, for comparison.
-    pub estimated_seconds: f64,
-}
-
-/// The result of [`RobustDb::explain_analyze`]: a [`QueryOutcome`] plus
-/// the per-operator metrics tree, annotated with the optimizer's own
-/// cardinality estimates so every node reports estimate vs. actual and
-/// the q-error between them.
-#[derive(Debug, Clone)]
-pub struct AnalyzedOutcome {
-    /// The ordinary query result.
-    pub outcome: QueryOutcome,
-    /// Per-operator metrics, in the same tree shape as the plan.
-    pub metrics: OpMetrics,
-}
-
-impl AnalyzedOutcome {
-    /// Renders the annotated plan tree — the `EXPLAIN ANALYZE` output.
-    ///
-    /// Deterministic: identical at every thread count and morsel size for
-    /// the same database and query.
-    pub fn render(&self) -> String {
-        self.metrics.render()
-    }
-}
-
-/// One mid-query re-plan, as recorded by [`RobustDb::run_adaptive`].
-#[derive(Debug, Clone)]
-pub struct ReplanEvent {
-    /// Pre-order index of the tripped guard's node in the plan that was
-    /// executing when the guard fired.
-    pub node: usize,
-    /// Operator label of the tripped node.
-    pub label: String,
-    /// Output rows the plan priced the node at.
-    pub est_rows: f64,
-    /// Rows actually materialized at the pipeline breaker.
-    pub actual_rows: u64,
-    /// q-error between them (> the policy's guard bound, by construction).
-    pub q_error: f64,
-    /// Confidence threshold the tripped plan was optimized at.
-    pub threshold_before: ConfidenceThreshold,
-    /// Escalated threshold the re-plan was optimized at.
-    pub threshold_after: ConfidenceThreshold,
-    /// Observed selectivities fed back before re-planning.
-    pub observations: usize,
-    /// Whether the re-plan grafted a `Materialized` leaf over the
-    /// finished fragment (`false` ⇒ the fresh plan had no matching
-    /// subtree and recomputes from scratch — correct, just not resumed).
-    pub resumed: bool,
-    /// Shape of the plan that tripped.
-    pub old_shape: String,
-    /// Shape of the re-planned query.
-    pub new_shape: String,
-}
-
-impl ReplanEvent {
-    /// Renders the event as one log paragraph (deterministic).
-    pub fn render(&self) -> String {
-        format!(
-            "guard tripped at node {} [{}]: est {:.1} rows, actual {} rows, q-error {:.2}\n  \
-             threshold {}% -> {}%; {} observation(s) fed back; {}\n  \
-             plan: {} -> {}",
-            self.node,
-            self.label,
-            self.est_rows,
-            self.actual_rows,
-            self.q_error,
-            self.threshold_before.percent(),
-            self.threshold_after.percent(),
-            self.observations,
-            if self.resumed {
-                "resumed from materialized checkpoint"
-            } else {
-                "no matching subtree, recomputing"
-            },
-            self.old_shape,
-            self.new_shape,
-        )
-    }
-}
-
-/// The result of [`RobustDb::run_adaptive`]: the query outcome, the
-/// re-plan event log, and the metrics tree of the final (completed)
-/// execution.
-#[derive(Debug, Clone)]
-pub struct AdaptiveOutcome {
-    /// The ordinary query result.  `plan` is the plan that ran to
-    /// completion; `simulated_seconds` is the **total** tracked cost
-    /// including all partial executions before re-plans, and
-    /// `estimated_seconds` is the first plan's estimate.
-    pub outcome: QueryOutcome,
-    /// One entry per guard trip, in order.
-    pub events: Vec<ReplanEvent>,
-    /// Per-operator metrics of the completed execution, annotated with
-    /// the final plan's estimates.
-    pub metrics: OpMetrics,
-}
-
-impl AdaptiveOutcome {
-    /// Number of mid-query re-plans that occurred.
-    pub fn replans(&self) -> usize {
-        self.events.len()
-    }
-
-    /// Renders the re-plan event log followed by the final plan's
-    /// annotated metrics tree.  Deterministic: identical at every thread
-    /// count for the same database and query.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "adaptive execution: {} re-plan(s)\n",
-            self.replans()
-        ));
-        for (i, event) in self.events.iter().enumerate() {
-            out.push_str(&format!("[{}] {}\n", i + 1, event.render()));
-        }
-        out.push_str("final plan:\n");
-        out.push_str(&self.metrics.render());
-        out
-    }
-}
-
-/// A batteries-included database handle: catalog + precomputed join
-/// synopses + a robust optimizer, behind one `run(query)` call.
+/// A batteries-included single-tenant database handle: catalog +
+/// precomputed join synopses + a robust optimizer, behind one
+/// `run(query)` call.
 ///
-/// This is the "downstream user" API; the individual crates expose every
-/// layer for finer control (custom estimators, cost parameters, multiple
+/// `RobustDb` is a thin wrapper over [`Engine`] — the same core the
+/// concurrent [`QueryService`] shares across sessions.  Use
+/// [`into_service`](Self::into_service) to turn this handle into a
+/// multi-client service with admission control and per-query
+/// deadlines/cancellation; the individual crates expose every layer for
+/// finer control (custom estimators, cost parameters, multiple
 /// samples, ...).
 pub struct RobustDb {
-    catalog: Arc<Catalog>,
-    params: CostParams,
-    synopses: Arc<SynopsisRepository>,
-    threshold: ConfidenceThreshold,
-    sample_size: usize,
-    seed: u64,
-    exec_options: ExecOptions,
-    feedback: Arc<FeedbackStore>,
-    plan_cache: Arc<PlanCache>,
-    adaptive_policy: AdaptivePolicy,
+    engine: Engine,
 }
 
 impl RobustDb {
     /// Builds the database over a catalog, precomputing 500-tuple join
     /// synopses (the paper's recommended size) for every table.
     pub fn new(catalog: Catalog) -> Self {
-        Self::with_options(catalog, CostParams::default(), 500, 0xD5)
+        Self {
+            engine: Engine::new(catalog),
+        }
     }
 
     /// Full-control constructor: cost parameters, synopsis sample size,
@@ -268,19 +160,8 @@ impl RobustDb {
         sample_size: usize,
         seed: u64,
     ) -> Self {
-        let catalog = Arc::new(catalog);
-        let synopses = Arc::new(SynopsisRepository::build_all(&catalog, sample_size, seed));
         Self {
-            catalog,
-            params,
-            synopses,
-            threshold: RobustnessLevel::Moderate.threshold(),
-            sample_size,
-            seed,
-            exec_options: ExecOptions::default(),
-            feedback: Arc::new(FeedbackStore::new()),
-            plan_cache: Arc::new(PlanCache::default()),
-            adaptive_policy: AdaptivePolicy::default(),
+            engine: Engine::with_options(catalog, params, sample_size, seed),
         }
     }
 
@@ -290,20 +171,20 @@ impl RobustDb {
     /// [`AdaptivePolicy::disabled`] makes `run_adaptive` identical to
     /// [`run`](Self::run).
     pub fn with_adaptive_policy(mut self, policy: AdaptivePolicy) -> Self {
-        self.adaptive_policy = policy;
+        self.engine.set_adaptive_policy(policy);
         self
     }
 
     /// The active adaptive re-optimization policy.
     pub fn adaptive_policy(&self) -> &AdaptivePolicy {
-        &self.adaptive_policy
+        self.engine.adaptive_policy()
     }
 
     /// Sets the executor's parallelism knobs (worker threads, morsel
     /// size).  Results and simulated costs are identical for every
     /// setting — only wall-clock time changes.
     pub fn with_exec_options(mut self, exec_options: ExecOptions) -> Self {
-        self.exec_options = exec_options;
+        self.engine.set_exec_options(exec_options);
         self
     }
 
@@ -311,13 +192,13 @@ impl RobustDb {
     /// moderate, or aggressive.  Individual queries may still override it
     /// with [`Query::with_hint`](rqo_optimizer::Query::with_hint).
     pub fn with_robustness(mut self, level: RobustnessLevel) -> Self {
-        self.threshold = level.threshold();
+        self.engine.set_robustness(level);
         self
     }
 
     /// Sets an explicit confidence threshold.
     pub fn with_threshold(mut self, threshold: ConfidenceThreshold) -> Self {
-        self.threshold = threshold;
+        self.engine.set_threshold(threshold);
         self
     }
 
@@ -326,8 +207,21 @@ impl RobustDb {
     /// against the selectivity the plan was priced at exceeds `bound`.
     /// Resets the cache (the bound is part of its construction).
     pub fn with_drift_bound(mut self, bound: f64) -> Self {
-        self.plan_cache = Arc::new(PlanCache::new(bound));
+        self.engine.set_drift_bound(bound);
         self
+    }
+
+    /// Converts this handle into a concurrent [`QueryService`]: one
+    /// shared worker pool, admission control, and per-query
+    /// deadline/cancellation over the same engine state (catalog,
+    /// synopses, plan cache, feedback).
+    pub fn into_service(self, config: ServiceConfig) -> QueryService {
+        QueryService::new(self.engine, config)
+    }
+
+    /// The underlying shared-core engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Re-draws the precomputed samples (the `UPDATE STATISTICS`
@@ -340,30 +234,23 @@ impl RobustDb {
     /// fresh samples) and cached plans (their fingerprints embed the old
     /// epoch, and the stale entries are eagerly dropped).
     pub fn refresh_statistics(&mut self, seed: u64) {
-        self.seed = seed;
-        self.synopses = Arc::new(SynopsisRepository::build_all(
-            &self.catalog,
-            self.sample_size,
-            seed,
-        ));
-        let epoch = self.feedback.advance_epoch();
-        self.plan_cache.invalidate_epochs_before(epoch);
+        self.engine.refresh_statistics(seed);
     }
 
     /// The current statistics epoch: 0 at construction, bumped by every
     /// [`refresh_statistics`](Self::refresh_statistics).
     pub fn stats_epoch(&self) -> u64 {
-        self.feedback.epoch()
+        self.engine.stats_epoch()
     }
 
     /// The underlying catalog.
     pub fn catalog(&self) -> &Arc<Catalog> {
-        &self.catalog
+        self.engine.catalog()
     }
 
     /// The active confidence threshold.
     pub fn threshold(&self) -> ConfidenceThreshold {
-        self.threshold
+        self.engine.threshold()
     }
 
     /// The execution-feedback store.  Empty until a query is run through
@@ -372,35 +259,30 @@ impl RobustDb {
     /// [`optimizer`](Self::optimizer) (and hence [`run`](Self::run))
     /// replace matching estimates with the observed values.
     pub fn feedback(&self) -> &Arc<FeedbackStore> {
-        &self.feedback
+        self.engine.feedback()
     }
 
     /// The shared plan cache.
     pub fn plan_cache(&self) -> &Arc<PlanCache> {
-        &self.plan_cache
+        self.engine.plan_cache()
     }
 
     /// A point-in-time snapshot of the plan cache's counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.plan_cache.stats()
+        self.engine.cache_stats()
     }
 
     /// An optimizer bound to this database's statistics, threshold, and
     /// feedback store.
     pub fn optimizer(&self) -> Optimizer {
-        let est = RobustEstimator::new(
-            Arc::clone(&self.synopses),
-            EstimatorConfig::with_threshold(self.threshold),
-        )
-        .with_feedback(Arc::clone(&self.feedback));
-        Optimizer::new(Arc::clone(&self.catalog), self.params, Arc::new(est))
+        self.engine.optimizer()
     }
 
     /// The fingerprint under which this database would cache a query's
     /// plan right now: canonical query form × effective confidence
     /// threshold (hint included) × current statistics epoch.
     pub fn fingerprint(&self, query: &Query) -> PlanFingerprint {
-        PlanFingerprint::of(query, self.threshold, self.feedback.epoch())
+        self.engine.fingerprint(query)
     }
 
     /// Optimizes a query through the shared plan cache: a hit returns
@@ -412,56 +294,24 @@ impl RobustDb {
     /// feedback, and all three are pinned by the fingerprint plus the
     /// drift/epoch invalidation rules.
     pub fn optimize(&self, query: &Query) -> Arc<PlannedQuery> {
-        let fingerprint = self.fingerprint(query);
-        if let Some(planned) = self.plan_cache.get(&fingerprint) {
-            return planned;
-        }
-        let planned = self.optimizer().optimize(query);
-        self.plan_cache.insert(fingerprint, planned)
+        self.engine.optimize(query)
     }
 
     /// Optimizes (through the plan cache) and executes a query,
     /// returning rows plus the simulated cost.
+    ///
+    /// # Panics
+    ///
+    /// If the options set via
+    /// [`with_exec_options`](Self::with_exec_options) carry a
+    /// [`QueryToken`](rqo_core::QueryToken) that fires mid-query.
+    /// Cancellable execution belongs to the service API
+    /// ([`into_service`](Self::into_service)), which returns the stop
+    /// reason instead.
     pub fn run(&self, query: &Query) -> QueryOutcome {
-        let planned = self.optimize(query);
-        let (batch, cost) = rqo_exec::execute_with(
-            &planned.plan,
-            &self.catalog,
-            &self.params,
-            &self.exec_options,
-        );
-        let Batch { schema, rows } = batch;
-        QueryOutcome {
-            plan: planned.plan.clone(),
-            columns: schema.names().iter().map(|s| s.to_string()).collect(),
-            rows,
-            simulated_seconds: cost.seconds(&self.params),
-            estimated_seconds: planned.estimated_cost_ms / 1000.0,
-        }
-    }
-
-    /// Records one annotated node's observed selectivity into the
-    /// feedback store and the plan cache's drift check.  Returns whether
-    /// the node had a recordable estimation request.
-    fn record_observation(&self, rows_out: u64, ann: &rqo_optimizer::NodeAnnotation) -> bool {
-        if ann.predicates.is_empty() || ann.root_rows <= 0.0 {
-            return false;
-        }
-        // Floor at half a tuple: a zero-row result is evidence the
-        // selectivity is *small*, not that it is exactly 0.0 — a pinned
-        // zero would price every later plan for this predicate at zero
-        // cardinality forever.
-        let observed = ((rows_out as f64).max(0.5) / ann.root_rows).clamp(0.0, 1.0);
-        let tables: Vec<&str> = ann.tables.iter().map(String::as_str).collect();
-        let predicates: Vec<_> = ann
-            .predicates
-            .iter()
-            .map(|(t, e)| (t.as_str(), e))
-            .collect();
-        self.feedback.record(&tables, &predicates, observed);
-        let key = FeedbackStore::canonical_key(&tables, &predicates);
-        self.plan_cache.observe(&key, observed);
-        true
+        self.engine
+            .run_opts(query, self.engine.exec_options())
+            .expect("single-tenant run has no cancellation source; use the service API")
     }
 
     /// Runs a query with **mid-query adaptive re-optimization** under the
@@ -480,7 +330,8 @@ impl RobustDb {
     /// **escalated** confidence threshold with the truth now in the
     /// feedback store; and execution resumes with the finished fragment
     /// served from memory via a grafted
-    /// [`PhysicalPlan::Materialized`] leaf.
+    /// [`PhysicalPlan::Materialized`](rqo_exec::PhysicalPlan::Materialized)
+    /// leaf.
     ///
     /// Guarantees:
     ///
@@ -500,108 +351,9 @@ impl RobustDb {
     /// call is equivalent to [`run`](Self::run) (same plan, same rows,
     /// same simulated cost).
     pub fn run_adaptive(&self, query: &Query) -> AdaptiveOutcome {
-        let policy = self.adaptive_policy.clone();
-        let mut threshold = query.hint.unwrap_or(self.threshold);
-        let mut planned: Arc<PlannedQuery> = self.optimize(query);
-        let estimated_seconds = planned.estimated_cost_ms / 1000.0;
-        let mut tracker = CostTracker::new();
-        let mut events: Vec<ReplanEvent> = Vec::new();
-        let mut slots: Vec<Batch> = Vec::new();
-
-        loop {
-            // Guards stay armed while the re-plan budget lasts; the final
-            // permitted execution runs unguarded to completion.
-            let guards: Vec<RowGuard> = if policy.is_enabled() && events.len() < policy.max_replans
-            {
-                guard_points(&planned.plan)
-                    .into_iter()
-                    .filter_map(|idx| {
-                        let ann = planned.node_annotations.get(idx)?.as_ref()?;
-                        (!ann.tables.is_empty()).then_some(RowGuard {
-                            node: idx,
-                            est_rows: ann.est_rows,
-                            bound: policy.guard_bound,
-                        })
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            let status = execute_guarded(
-                &planned.plan,
-                &self.catalog,
-                &self.params,
-                &self.exec_options,
-                &guards,
-                &slots,
-                &mut tracker,
-            );
-            match status {
-                ExecStatus::Complete { batch, mut metrics } => {
-                    metrics.annotate(&planned.node_estimates());
-                    let Batch { schema, rows } = batch;
-                    return AdaptiveOutcome {
-                        outcome: QueryOutcome {
-                            plan: planned.plan.clone(),
-                            columns: schema.names().iter().map(|s| s.to_string()).collect(),
-                            rows,
-                            simulated_seconds: tracker.seconds(&self.params),
-                            estimated_seconds,
-                        },
-                        events,
-                        metrics,
-                    };
-                }
-                ExecStatus::Tripped(trip) => {
-                    // The tripped node's subtree is complete: feed its
-                    // observed selectivities back before re-planning.  In
-                    // pre-order a subtree is a contiguous block starting
-                    // at its root, so the subtree's metrics zip with the
-                    // annotations from `trip.node` on.
-                    let mut observations = 0;
-                    for (node, annotation) in trip
-                        .metrics
-                        .preorder()
-                        .iter()
-                        .zip(&planned.node_annotations[trip.node..])
-                    {
-                        let Some(ann) = annotation else { continue };
-                        if self.record_observation(node.rows_out, ann) {
-                            observations += 1;
-                        }
-                    }
-                    let before = threshold;
-                    threshold = policy.escalate(threshold, events.len());
-                    let ann = planned.node_annotations[trip.node]
-                        .as_ref()
-                        .expect("guards are only armed on annotated nodes");
-                    let fragment = MaterializedFragment::from_annotation(ann, slots.len());
-                    // Re-plan directly — NOT through `self.optimize` —
-                    // so the grafted plan never enters the plan cache.
-                    let replan_query = query.clone().with_hint(threshold);
-                    let (new_planned, resumed) = self
-                        .optimizer()
-                        .replan_with_materialized(&replan_query, &fragment);
-                    events.push(ReplanEvent {
-                        node: trip.node,
-                        label: trip.metrics.label.clone(),
-                        est_rows: trip.est_rows,
-                        actual_rows: trip.actual_rows,
-                        q_error: trip.q_error,
-                        threshold_before: before,
-                        threshold_after: threshold,
-                        observations,
-                        resumed,
-                        old_shape: planned.shape(),
-                        new_shape: new_planned.shape(),
-                    });
-                    if resumed {
-                        slots.push(trip.batch);
-                    }
-                    planned = Arc::new(new_planned);
-                }
-            }
-        }
+        self.engine
+            .run_adaptive_opts(query, self.engine.exec_options())
+            .expect("single-tenant run has no cancellation source; use the service API")
     }
 
     /// `EXPLAIN ANALYZE`: optimizes and executes a query, returning the
@@ -621,37 +373,9 @@ impl RobustDb {
     /// q-error against the observation exceeds the drift bound are
     /// evicted, so the next [`run`](Self::run) re-plans with feedback.
     pub fn explain_analyze(&self, query: &Query) -> AnalyzedOutcome {
-        let planned = self
-            .plan_cache
-            .insert(self.fingerprint(query), self.optimizer().optimize(query));
-        let (batch, cost, mut metrics) = rqo_exec::execute_analyze(
-            &planned.plan,
-            &self.catalog,
-            &self.params,
-            &self.exec_options,
-        );
-        metrics.annotate(&planned.node_estimates());
-
-        // Record observed selectivities: each annotated node's actual
-        // output cardinality, relative to the root relation the planner
-        // priced it against, keyed by the exact (tables, predicates)
-        // request the estimator answered during planning.
-        for (node, annotation) in metrics.preorder().iter().zip(&planned.node_annotations) {
-            let Some(ann) = annotation else { continue };
-            self.record_observation(node.rows_out, ann);
-        }
-
-        let Batch { schema, rows } = batch;
-        AnalyzedOutcome {
-            outcome: QueryOutcome {
-                plan: planned.plan.clone(),
-                columns: schema.names().iter().map(|s| s.to_string()).collect(),
-                rows,
-                simulated_seconds: cost.seconds(&self.params),
-                estimated_seconds: planned.estimated_cost_ms / 1000.0,
-            },
-            metrics,
-        }
+        self.engine
+            .explain_analyze_opts(query, self.engine.exec_options())
+            .expect("single-tenant run has no cancellation source; use the service API")
     }
 }
 
@@ -725,5 +449,22 @@ mod tests {
         // The *answer* must be identical regardless of the sample draw —
         // statistics affect the plan, never the result.
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn facade_converts_into_a_service() {
+        let service = db().into_service(ServiceConfig::default());
+        let q = Query::over(&["lineitem"])
+            .filter("lineitem", exp1_lineitem_predicate(30))
+            .aggregate(AggExpr::count_star("n"));
+        let session = service.session();
+        let through_service = session.run(&q).expect("no cancellation source");
+        let reference = db().run(&q);
+        assert_eq!(through_service.rows, reference.rows);
+        assert_eq!(
+            through_service.simulated_seconds,
+            reference.simulated_seconds
+        );
+        assert!(service.stats().slots_balanced());
     }
 }

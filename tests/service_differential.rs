@@ -1,0 +1,178 @@
+//! Service ≡ single-tenant differential suite.
+//!
+//! The concurrent query service (shared worker pool, admission control,
+//! round-robin morsel scheduling across queries) must be *semantically
+//! invisible*: every golden experiment query run through the service —
+//! with 1, 4, or 16 client threads hammering it concurrently — returns
+//! bit-identical result rows, `EXPLAIN ANALYZE` operator-metrics trees,
+//! and tracked simulated costs to the same query on a standalone
+//! [`RobustDb`].  Also pins the admission-control slot lifecycle:
+//! cancelled and deadline-exceeded queries release their slots and are
+//! counted, leaving the stats balanced.
+
+use robust_qo::prelude::*;
+
+const SEED: u64 = 42;
+const CLIENTS: [usize; 3] = [1, 4, 16];
+
+fn tpch_db() -> RobustDb {
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.005,
+        seed: SEED,
+    });
+    RobustDb::with_options(data.into_catalog(), CostParams::default(), 500, SEED)
+}
+
+fn star_db() -> RobustDb {
+    let data = StarData::generate(&StarConfig {
+        fact_rows: 30_000,
+        seed: SEED,
+    });
+    RobustDb::with_options(data.into_catalog(), CostParams::default(), 500, SEED)
+}
+
+fn exp1_query() -> Query {
+    Query::over(&["lineitem"])
+        .filter("lineitem", exp1_lineitem_predicate(110))
+        .aggregate(AggExpr::sum("l_extendedprice", "revenue"))
+}
+
+fn exp2_query() -> Query {
+    Query::over(&["lineitem", "orders", "part"])
+        .filter("part", exp2_part_predicate(212))
+        .aggregate(AggExpr::sum("l_extendedprice", "revenue"))
+}
+
+fn exp3_query() -> Query {
+    let mut query = Query::over(&["fact", "dim1", "dim2", "dim3"])
+        .aggregate(AggExpr::sum("f_measure1", "total"));
+    for dim in ["dim1", "dim2", "dim3"] {
+        query = query.filter(dim, exp3_dim_predicate(3));
+    }
+    query
+}
+
+/// The single-tenant truth for one query: rows, rendered metrics tree,
+/// and tracked cost, via the side-effect-free analyze path.
+struct Reference {
+    rows: Vec<Vec<Value>>,
+    render: String,
+    seconds: f64,
+}
+
+fn reference(db: &RobustDb, query: &Query) -> Reference {
+    let analyzed = db
+        .engine()
+        .analyze_quiet(query, db.engine().exec_options())
+        .expect("no token, cannot stop");
+    let render = analyzed.render();
+    Reference {
+        rows: analyzed.outcome.rows,
+        render,
+        seconds: analyzed.outcome.simulated_seconds,
+    }
+}
+
+/// Runs every query through the service from `clients` concurrent
+/// threads and asserts each analyzed result is bit-identical to its
+/// reference.
+fn assert_differential(db: RobustDb, queries: &[Query], refs: &[Reference], clients: usize) {
+    let service = db.into_service(
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_max_concurrent(clients.max(1))
+            .with_queue_capacity(2 * clients),
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let service = &service;
+            scope.spawn(move || {
+                let session = service.session();
+                for (query, reference) in queries.iter().zip(refs) {
+                    let analyzed = session
+                        .analyze_quiet(query)
+                        .expect("no cancellation source");
+                    assert_eq!(analyzed.outcome.rows, reference.rows, "rows diverged");
+                    assert_eq!(analyzed.render(), reference.render, "metrics tree diverged");
+                    assert_eq!(
+                        analyzed.outcome.simulated_seconds, reference.seconds,
+                        "tracked cost diverged"
+                    );
+                    // The plain run path must agree on rows and cost too.
+                    let outcome = session.run(query).expect("no cancellation source");
+                    assert_eq!(outcome.rows, reference.rows);
+                    assert_eq!(outcome.simulated_seconds, reference.seconds);
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    let expected = (clients * queries.len() * 2) as u64;
+    assert_eq!(stats.admitted, expected, "every query admitted");
+    assert_eq!(stats.completed, expected, "every query completed");
+    assert!(stats.slots_balanced(), "slots leaked: {stats}");
+}
+
+#[test]
+fn tpch_service_matches_single_tenant() {
+    let queries = vec![exp1_query(), exp2_query()];
+    let db = tpch_db();
+    let refs: Vec<Reference> = queries.iter().map(|q| reference(&db, q)).collect();
+    drop(db);
+    for clients in CLIENTS {
+        assert_differential(tpch_db(), &queries, &refs, clients);
+    }
+}
+
+#[test]
+fn star_service_matches_single_tenant() {
+    let queries = vec![exp3_query()];
+    let db = star_db();
+    let refs: Vec<Reference> = queries.iter().map(|q| reference(&db, q)).collect();
+    drop(db);
+    for clients in CLIENTS {
+        assert_differential(star_db(), &queries, &refs, clients);
+    }
+}
+
+#[test]
+fn stopped_queries_release_their_slots() {
+    let service = tpch_db().into_service(
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_max_concurrent(1)
+            .with_queue_capacity(4),
+    );
+    let session = service.session();
+    let query = exp1_query();
+
+    // A pre-cancelled query and an already-expired deadline both stop
+    // before producing rows — and both must free their slot.
+    let cancelled = QueryHandle::new();
+    cancelled.cancel();
+    assert_eq!(
+        session.run_with(&query, &cancelled).unwrap_err(),
+        ServiceError::Stopped(StopReason::Cancelled)
+    );
+    let expired = QueryHandle::with_deadline(std::time::Duration::ZERO);
+    assert_eq!(
+        session.run_with(&query, &expired).unwrap_err(),
+        ServiceError::Stopped(StopReason::DeadlineExceeded)
+    );
+
+    // With max_concurrent = 1, the next query only runs if both slots
+    // above were released.
+    let outcome = session.run(&query).expect("slot must be free");
+    assert_eq!(outcome.rows.len(), 1);
+
+    let stats = service.stats();
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.completed, 1);
+    assert!(stats.slots_balanced(), "{stats}");
+
+    // A stopped query must publish nothing: the only cache entry is the
+    // completed run's plan.
+    assert_eq!(service.engine().cache_stats().entries, 1);
+}

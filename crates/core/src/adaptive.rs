@@ -18,6 +18,7 @@
 //! (`max_replans`).
 
 use crate::confidence::ConfidenceThreshold;
+use crate::penalty::PlanSelection;
 
 /// Default guard bound: interrupt when actual rows are 4× off the
 /// estimate in either direction.  Deliberately looser than the plan
@@ -41,6 +42,12 @@ pub struct AdaptivePolicy {
     /// Maximum number of re-plans per query; `0` disables guards
     /// entirely (execution is identical to the non-adaptive path).
     pub max_replans: usize,
+    /// Whether a *second* guard trip escalates the re-plan from
+    /// quantile mode to [`PlanSelection::ExpectedPenalty`].  One trip is
+    /// a misestimate; two trips in the same query mean point-collapsing
+    /// the posterior is itself failing, so the re-plan switches to
+    /// integrating over it instead of just raising `T`.
+    pub escalate_to_penalty: bool,
 }
 
 impl Default for AdaptivePolicy {
@@ -54,6 +61,7 @@ impl Default for AdaptivePolicy {
                 ConfidenceThreshold::from_percent(95.0),
             ],
             max_replans: 2,
+            escalate_to_penalty: true,
         }
     }
 }
@@ -96,9 +104,31 @@ impl AdaptivePolicy {
         self
     }
 
+    /// Enables or disables the quantile→penalty mode escalation on the
+    /// second guard trip.
+    pub fn with_penalty_escalation(mut self, enabled: bool) -> Self {
+        self.escalate_to_penalty = enabled;
+        self
+    }
+
     /// Whether guards are armed at all.
     pub fn is_enabled(&self) -> bool {
         self.max_replans > 0
+    }
+
+    /// The plan-selection mode for the `replans_done`-th re-plan: the
+    /// second and later re-plans switch to expected-penalty selection
+    /// when [`escalate_to_penalty`](Self::escalate_to_penalty) is set,
+    /// and `current` is never *de*-escalated back to quantile mode.
+    pub fn escalate_selection(&self, current: PlanSelection, replans_done: usize) -> PlanSelection {
+        if current == PlanSelection::ExpectedPenalty {
+            return current;
+        }
+        if self.escalate_to_penalty && replans_done >= 1 {
+            PlanSelection::ExpectedPenalty
+        } else {
+            current
+        }
     }
 
     /// The confidence threshold for the `replans_done`-th re-plan (0 for
@@ -154,6 +184,27 @@ mod tests {
         // Already above the schedule: never lowered.
         let t = p.escalate(ConfidenceThreshold::from_percent(99.0), 0);
         assert_eq!(t.percent(), 99.0);
+    }
+
+    #[test]
+    fn selection_escalates_on_the_second_trip_only() {
+        let p = AdaptivePolicy::default();
+        assert!(p.escalate_to_penalty);
+        let first = p.escalate_selection(PlanSelection::Quantile, 0);
+        assert_eq!(first, PlanSelection::Quantile);
+        let second = p.escalate_selection(PlanSelection::Quantile, 1);
+        assert_eq!(second, PlanSelection::ExpectedPenalty);
+        // Never de-escalates.
+        assert_eq!(
+            p.escalate_selection(PlanSelection::ExpectedPenalty, 0),
+            PlanSelection::ExpectedPenalty
+        );
+        // Opt-out keeps quantile mode throughout.
+        let p = p.with_penalty_escalation(false);
+        assert_eq!(
+            p.escalate_selection(PlanSelection::Quantile, 3),
+            PlanSelection::Quantile
+        );
     }
 
     #[test]

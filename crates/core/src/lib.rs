@@ -42,6 +42,7 @@ pub mod feedback;
 pub mod groupby;
 pub mod magic;
 pub mod onthefly;
+pub mod penalty;
 pub mod posterior;
 pub mod prior;
 pub mod service;
@@ -56,6 +57,9 @@ pub use estimator::{
 pub use feedback::FeedbackStore;
 pub use magic::MagicPolicy;
 pub use onthefly::OnTheFlyEstimator;
+pub use penalty::{
+    expected_penalties, penalty_grid, select_min_penalty, PenaltyScore, PlanSelection,
+};
 pub use posterior::SelectivityPosterior;
 pub use prior::Prior;
 pub use service::{QueryToken, ServiceConfig, StopReason};

@@ -1,0 +1,224 @@
+//! Expected-penalty plan selection (PARQO-style).
+//!
+//! The paper's robustness knob collapses the whole selectivity posterior
+//! into a single quantile `T` before the optimizer ever sees a number.
+//! Expected-penalty selection keeps the posterior: every candidate
+//! plan's cost curve is priced at a shared grid of posterior quadrature
+//! nodes, and the candidate minimizing the *expected regret*
+//!
+//! ```text
+//! penalty(i) = Σⱼ wⱼ · (cost(i, uⱼ) − minₖ cost(k, uⱼ))
+//! ```
+//!
+//! wins.  Because every candidate is priced at the *same* nodes, the
+//! common quadrature error cancels in the comparison, and a plan that is
+//! near-optimal across the posterior's plausible selectivities beats one
+//! that is optimal at a single point but catastrophic elsewhere.
+//!
+//! This module holds the selection-mode enum threaded through the
+//! optimizer/engine/service stack and the (pure, deterministic) scoring
+//! arithmetic; the optimizer owns candidate generation and pricing.
+
+use std::fmt;
+
+use crate::confidence::ConfidenceThreshold;
+use rqo_math::quantile_nodes;
+
+/// How the optimizer turns selectivity posteriors into one chosen plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlanSelection {
+    /// The paper's scheme: collapse each posterior at confidence
+    /// threshold `T`, then cost plans at those point selectivities.
+    #[default]
+    Quantile,
+    /// Score candidate plans by cost regret integrated over the
+    /// posterior and pick the minimum-expected-penalty candidate.
+    ExpectedPenalty,
+}
+
+impl PlanSelection {
+    /// Short stable label, used in plan fingerprints and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanSelection::Quantile => "quantile",
+            PlanSelection::ExpectedPenalty => "penalty",
+        }
+    }
+
+    /// Parses the demo/bench command-line spelling.
+    pub fn parse(s: &str) -> Option<PlanSelection> {
+        match s {
+            "quantile" => Some(PlanSelection::Quantile),
+            "penalty" | "expected-penalty" => Some(PlanSelection::ExpectedPenalty),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PlanSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The shared posterior-quantile grid candidates are priced on, as
+/// [`ConfidenceThreshold`]s (all strictly inside `(0, 1)`) with
+/// quadrature weights summing to 1.
+///
+/// Pricing a plan at threshold `uⱼ` collapses *every* predicate
+/// posterior at quantile `uⱼ` — the comonotone approximation of the
+/// joint posterior.  It reuses the §3.1.1 monotone-cost machinery
+/// unchanged (cost of the `u`-quantile selectivities = `u`-quantile of
+/// the cost), which is what keeps penalty mode deterministic and
+/// thread-invariant for free.
+pub fn penalty_grid(nodes: usize) -> Vec<(ConfidenceThreshold, f64)> {
+    quantile_nodes(nodes)
+        .into_iter()
+        .map(|(u, w)| (ConfidenceThreshold::new(u), w))
+        .collect()
+}
+
+/// One candidate's score under expected-penalty selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenaltyScore {
+    /// `Σⱼ wⱼ · cost(i, uⱼ)` — expected cost over the posterior.
+    pub expected_cost: f64,
+    /// `Σⱼ wⱼ · (cost(i, uⱼ) − minₖ cost(k, uⱼ))` — expected regret
+    /// against the per-node best candidate.  Non-negative.
+    pub expected_penalty: f64,
+}
+
+/// Scores a candidate-by-node cost matrix: `costs[i][j]` is candidate
+/// `i` priced at grid node `j`, `weights[j]` the node's quadrature
+/// weight.  Returns one [`PenaltyScore`] per candidate.
+///
+/// Panics if rows have inconsistent lengths or the matrix is empty.
+pub fn expected_penalties(costs: &[Vec<f64>], weights: &[f64]) -> Vec<PenaltyScore> {
+    assert!(!costs.is_empty(), "no candidates to score");
+    for row in costs {
+        assert_eq!(
+            row.len(),
+            weights.len(),
+            "cost row / weight length mismatch"
+        );
+    }
+    // Per-node lower envelope across candidates.
+    let envelope: Vec<f64> = (0..weights.len())
+        .map(|j| costs.iter().map(|row| row[j]).fold(f64::INFINITY, f64::min))
+        .collect();
+    costs
+        .iter()
+        .map(|row| {
+            let mut expected_cost = 0.0;
+            let mut expected_penalty = 0.0;
+            for j in 0..weights.len() {
+                expected_cost += weights[j] * row[j];
+                expected_penalty += weights[j] * (row[j] - envelope[j]).max(0.0);
+            }
+            PenaltyScore {
+                expected_cost,
+                expected_penalty,
+            }
+        })
+        .collect()
+}
+
+/// Index of the minimum-expected-penalty candidate, breaking ties by
+/// lower expected cost and then by lower index — a total, deterministic
+/// order, so the chosen plan never depends on iteration incidentals.
+pub fn select_min_penalty(scores: &[PenaltyScore]) -> usize {
+    assert!(!scores.is_empty(), "no candidates to select from");
+    let mut best = 0;
+    for (i, s) in scores.iter().enumerate().skip(1) {
+        let b = &scores[best];
+        let better = match s.expected_penalty.total_cmp(&b.expected_penalty) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                s.expected_cost.total_cmp(&b.expected_cost) == std::cmp::Ordering::Less
+            }
+        };
+        if better {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_labels_round_trip() {
+        for mode in [PlanSelection::Quantile, PlanSelection::ExpectedPenalty] {
+            assert_eq!(PlanSelection::parse(mode.label()), Some(mode));
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        assert_eq!(
+            PlanSelection::parse("expected-penalty"),
+            Some(PlanSelection::ExpectedPenalty)
+        );
+        assert_eq!(PlanSelection::parse("bogus"), None);
+        assert_eq!(PlanSelection::default(), PlanSelection::Quantile);
+    }
+
+    #[test]
+    fn grid_weights_sum_to_one_and_thresholds_are_interior() {
+        let grid = penalty_grid(32);
+        assert_eq!(grid.len(), 32);
+        let total: f64 = grid.iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        for &(t, _) in &grid {
+            assert!(t.value() > 0.0 && t.value() < 1.0);
+        }
+    }
+
+    #[test]
+    fn penalty_of_the_pointwise_best_candidate_is_zero() {
+        // Candidate 0 dominates everywhere: zero regret; candidate 1
+        // pays its full gap.
+        let costs = vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 3.0]];
+        let weights = vec![0.25, 0.5, 0.25];
+        let scores = expected_penalties(&costs, &weights);
+        assert_eq!(scores[0].expected_penalty, 0.0);
+        assert!((scores[1].expected_penalty - (0.25 * 1.0 + 0.5 * 2.0)).abs() < 1e-12);
+        assert_eq!(select_min_penalty(&scores), 0);
+    }
+
+    #[test]
+    fn crossing_curves_favor_the_hedge() {
+        // Candidate 0 gambles (cheap left, disastrous right), candidate
+        // 1 mirrors it, candidate 2 is a flat hedge slightly above the
+        // envelope everywhere.  Under equal weights the hedge has the
+        // least expected regret.
+        let costs = vec![
+            vec![1.0, 1.0, 50.0, 50.0],
+            vec![50.0, 50.0, 1.0, 1.0],
+            vec![3.0, 3.0, 3.0, 3.0],
+        ];
+        let weights = vec![0.25; 4];
+        let scores = expected_penalties(&costs, &weights);
+        assert_eq!(select_min_penalty(&scores), 2);
+        assert!((scores[2].expected_penalty - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_by_expected_cost_then_index() {
+        let scores = vec![
+            PenaltyScore {
+                expected_cost: 5.0,
+                expected_penalty: 1.0,
+            },
+            PenaltyScore {
+                expected_cost: 4.0,
+                expected_penalty: 1.0,
+            },
+            PenaltyScore {
+                expected_cost: 4.0,
+                expected_penalty: 1.0,
+            },
+        ];
+        assert_eq!(select_min_penalty(&scores), 1);
+    }
+}

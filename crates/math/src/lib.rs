@@ -22,11 +22,16 @@
 
 pub mod beta;
 pub mod binomial;
+pub mod quadrature;
 pub mod special;
 pub mod summary;
 
 pub use beta::BetaDistribution;
 pub use binomial::Binomial;
+pub use quadrature::{
+    adaptive_simpson, beta_expected_value, gauss_legendre_unit, quantile_nodes,
+    DEFAULT_EXPECTED_VALUE_TOL, DEFAULT_QUADRATURE_NODES, DEGENERATE_STD_DEV,
+};
 pub use special::{ln_beta, ln_gamma, regularized_incomplete_beta};
 pub use summary::{percentile_sorted, RunningStats, WeightedStats};
 

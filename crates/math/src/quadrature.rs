@@ -1,0 +1,315 @@
+//! Numerical integration for expected-penalty plan scoring.
+//!
+//! Two complementary rules:
+//!
+//! * **Gauss–Legendre** nodes/weights on `(0, 1)` — the workhorse for
+//!   integrating a plan's cost curve over a selectivity posterior.  The
+//!   integral is taken in the *quantile domain*: for a posterior with
+//!   quantile function `Q`, `E[f(S)] = ∫₀¹ f(Q(u)) du`, so the nodes
+//!   never touch the endpoints and the rule is exact for polynomials in
+//!   `u` of degree `2n − 1`.
+//! * **Adaptive Simpson** — an interval-subdividing fallback used by the
+//!   differential tests as an independent oracle (and available to
+//!   callers whose integrand is not smooth enough for a fixed rule).
+//!
+//! Both are deterministic: same inputs, bit-identical outputs, no global
+//! state — a requirement inherited from the optimizer's thread-invariance
+//! contract.
+
+use crate::beta::BetaDistribution;
+
+/// Default size of the shared [`quantile_nodes`] grid the penalty
+/// scorer prices candidate plans on.  32 substituted nodes put the
+/// quadrature error of smooth cost curves far below anything a plan
+/// comparison can see.
+pub const DEFAULT_QUADRATURE_NODES: usize = 32;
+
+/// Default absolute tolerance for [`beta_expected_value`], matching the
+/// 1e-6 accuracy contract of the regret tests with headroom.
+pub const DEFAULT_EXPECTED_VALUE_TOL: f64 = 1e-9;
+
+/// Posteriors whose standard deviation is below this are treated as
+/// point masses: [`beta_expected_value`] short-circuits to `f(mean)`
+/// instead of integrating over a numerical spike (where the quantile
+/// inversion becomes ill-conditioned after heavy feedback drives alpha
+/// or beta huge).
+pub const DEGENERATE_STD_DEV: f64 = 1e-6;
+
+/// Gauss–Legendre nodes and weights on the open interval `(0, 1)`,
+/// returned as `(node, weight)` pairs in increasing node order.  Weights
+/// sum to 1.  Panics if `n == 0`.
+///
+/// Nodes are the roots of the degree-`n` Legendre polynomial (found by
+/// Newton iteration from the Chebyshev initial guess), mapped affinely
+/// from `(-1, 1)`.
+pub fn gauss_legendre_unit(n: usize) -> Vec<(f64, f64)> {
+    assert!(n > 0, "quadrature needs at least one node");
+    let mut out = vec![(0.0, 0.0); n];
+    // Roots come in ± pairs on (-1, 1); solve the upper half.
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // Chebyshev-based initial guess for the i-th root (descending).
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            // Evaluate P_n(x) and P_n'(x) by the three-term recurrence.
+            let mut p0 = 1.0;
+            let mut p1 = 0.0;
+            for j in 0..n {
+                let p2 = p1;
+                p1 = p0;
+                p0 = ((2.0 * j as f64 + 1.0) * x * p1 - j as f64 * p2) / (j as f64 + 1.0);
+            }
+            dp = n as f64 * (x * p0 - p1) / (x * x - 1.0);
+            let dx = p0 / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        // Map (-1, 1) → (0, 1): node (1 ± x)/2, weight w/2.
+        out[i] = ((1.0 - x) / 2.0, w / 2.0);
+        out[n - 1 - i] = ((1.0 + x) / 2.0, w / 2.0);
+    }
+    out
+}
+
+/// Quadrature nodes over the *quantile* domain `(0, 1)`, as `(quantile,
+/// weight)` pairs with weights summing to 1.
+///
+/// These are Gauss–Legendre nodes pushed through the substitution
+/// `u = (1 − cos πt)/2`, which clusters them quadratically at both
+/// endpoints.  That matters because integrating `f(Q(u))` du (the
+/// quantile-domain form of `E[f(S)]`) meets the quantile function's
+/// derivative `1/pdf(Q(u))`, which blows up at the endpoints whenever
+/// the density vanishes there; without the substitution Gauss–Legendre
+/// degrades to slow algebraic convergence.
+///
+/// The penalty scorer evaluates *every candidate plan at the same
+/// shared nodes*, so the (small, kink-induced) residual quadrature
+/// error cancels in cross-candidate comparisons.
+pub fn quantile_nodes(n: usize) -> Vec<(f64, f64)> {
+    gauss_legendre_unit(n)
+        .iter()
+        .map(|&(t, w)| {
+            let angle = std::f64::consts::PI * t;
+            let u = (1.0 - angle.cos()) / 2.0;
+            (u, w * (std::f64::consts::PI / 2.0) * angle.sin())
+        })
+        .collect()
+}
+
+/// `E[f(S)]` for `S ~ dist`, to absolute tolerance `tol`, by adaptive
+/// Simpson in the (endpoint-substituted) quantile domain.
+///
+/// Unlike the fixed-node [`quantile_nodes`] grid, the adaptive rule
+/// keeps its accuracy on integrands with kinks — exactly what a regret
+/// curve `costᵢ(s) − minⱼ costⱼ(s)` looks like at plan-crossover
+/// selectivities — so this is the reference evaluator the differential
+/// tests pin below 1e-6.
+///
+/// Near-degenerate posteriors (std dev below [`DEGENERATE_STD_DEV`])
+/// short-circuit to `f(mean)` — integrating over a spike wastes work and
+/// amplifies quantile-inversion noise without changing the answer.
+pub fn beta_expected_value(dist: &BetaDistribution, f: impl Fn(f64) -> f64, tol: f64) -> f64 {
+    if dist.std_dev() < DEGENERATE_STD_DEV {
+        return f(dist.mean());
+    }
+    // E = ∫₀¹ f(Q(u)) du = ∫₀¹ f(Q(u(t))) · (π/2)·sin(πt) dt with
+    // u(t) = (1 − cos πt)/2.  The sin factor zeroes the endpoint
+    // evaluations, so Q is only ever inverted strictly inside (0, 1).
+    let g = |t: f64| {
+        let angle = std::f64::consts::PI * t;
+        let u = (1.0 - angle.cos()) / 2.0;
+        if u <= 0.0 || u >= 1.0 {
+            return 0.0;
+        }
+        (std::f64::consts::PI / 2.0) * angle.sin() * f(dist.quantile(u))
+    };
+    adaptive_simpson(g, 0.0, 1.0, tol, 40)
+}
+
+/// Adaptive Simpson integration of `f` on `[a, b]` to absolute tolerance
+/// `tol`, subdividing at most `max_depth` levels deep.
+///
+/// Deterministic and endpoint-evaluating; use it as an independent
+/// cross-check of the Gauss–Legendre path or for integrands with kinks.
+pub fn adaptive_simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64, max_depth: u32) -> f64 {
+    fn simpson(fa: f64, fm: f64, fb: f64, h: f64) -> f64 {
+        h / 6.0 * (fa + 4.0 * fm + fb)
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        f: &impl Fn(f64) -> f64,
+        a: f64,
+        b: f64,
+        fa: f64,
+        fm: f64,
+        fb: f64,
+        whole: f64,
+        tol: f64,
+        depth: u32,
+    ) -> f64 {
+        let m = (a + b) / 2.0;
+        let lm = (a + m) / 2.0;
+        let rm = (m + b) / 2.0;
+        let flm = f(lm);
+        let frm = f(rm);
+        let left = simpson(fa, flm, fm, m - a);
+        let right = simpson(fm, frm, fb, b - m);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            // Richardson extrapolation on the two half-interval estimates.
+            return left + right + delta / 15.0;
+        }
+        recurse(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + recurse(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+    if a == b {
+        return 0.0;
+    }
+    // Start from a composite grid rather than one panel: a feature much
+    // narrower than the interval (a hinge active only in a far tail,
+    // say) would otherwise be invisible to the first coarse probe and
+    // the recursion would terminate at 0 without ever seeing it.
+    const PANELS: usize = 64;
+    let h = (b - a) / PANELS as f64;
+    let panel_tol = tol / PANELS as f64;
+    let mut total = 0.0;
+    for i in 0..PANELS {
+        let lo = a + i as f64 * h;
+        let hi = if i == PANELS - 1 { b } else { lo + h };
+        let flo = f(lo);
+        let m = (lo + hi) / 2.0;
+        let fm = f(m);
+        let fhi = f(hi);
+        let whole = simpson(flo, fm, fhi, hi - lo);
+        total += recurse(&f, lo, hi, flo, fm, fhi, whole, panel_tol, max_depth);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one_and_nodes_are_interior() {
+        for n in [1, 2, 3, 5, 8, 16, 32, 64] {
+            let gl = gauss_legendre_unit(n);
+            assert_eq!(gl.len(), n);
+            let total: f64 = gl.iter().map(|&(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-14, "n={n}: weights sum {total}");
+            for &(u, w) in &gl {
+                assert!(u > 0.0 && u < 1.0, "n={n}: node {u} not interior");
+                assert!(w > 0.0, "n={n}: weight {w} not positive");
+            }
+            // Strictly increasing node order.
+            for pair in gl.windows(2) {
+                assert!(pair[0].0 < pair[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_legendre_is_exact_for_polynomials() {
+        // n nodes integrate x^k exactly for k ≤ 2n−1; ∫₀¹ x^k = 1/(k+1).
+        let gl = gauss_legendre_unit(8);
+        for k in 0..=15u32 {
+            let got: f64 = gl.iter().map(|&(u, w)| w * u.powi(k as i32)).sum();
+            let want = 1.0 / (k as f64 + 1.0);
+            assert!((got - want).abs() < 1e-13, "x^{k}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn adaptive_simpson_matches_known_integrals() {
+        let got = adaptive_simpson(|x| x.sin(), 0.0, std::f64::consts::PI, 1e-10, 30);
+        assert!((got - 2.0).abs() < 1e-9);
+        let got = adaptive_simpson(|x| (-x).exp(), 0.0, 1.0, 1e-10, 30);
+        assert!((got - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+        assert_eq!(adaptive_simpson(|x| x, 3.0, 3.0, 1e-10, 30), 0.0);
+    }
+
+    #[test]
+    fn quantile_nodes_are_interior_and_weights_sum_to_one() {
+        for n in [8, 16, 32] {
+            let nodes = quantile_nodes(n);
+            let total: f64 = nodes.iter().map(|&(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n}: weights sum {total}");
+            for &(u, w) in &nodes {
+                assert!(u > 0.0 && u < 1.0, "n={n}: node {u} not interior");
+                assert!(w > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_expected_value_of_identity_is_the_mean() {
+        for (a, b) in [(2.0, 5.0), (0.5, 0.5), (10.0, 1.0), (37.0, 101.0)] {
+            let dist = BetaDistribution::new(a, b);
+            let got = beta_expected_value(&dist, |s| s, DEFAULT_EXPECTED_VALUE_TOL);
+            assert!(
+                (got - dist.mean()).abs() < 1e-7,
+                "Beta({a},{b}): E[S] {got} vs mean {}",
+                dist.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn beta_expected_value_matches_simpson_in_s_domain() {
+        // Independent oracle: ∫ f(s)·pdf(s) ds over (0,1) by adaptive
+        // Simpson (clipping the endpoints where the pdf may blow up).
+        // The kink in f at s = 0.3 is the shape every regret curve has
+        // at a plan-crossover selectivity.
+        let dist = BetaDistribution::new(3.0, 7.0);
+        let f = |s: f64| 1.0 + 4.0 * s + (10.0 * s).min(3.0);
+        let got = beta_expected_value(&dist, f, DEFAULT_EXPECTED_VALUE_TOL);
+        let simpson = adaptive_simpson(|s| f(s) * dist.pdf(s), 1e-9, 1.0 - 1e-9, 1e-12, 40);
+        assert!(
+            (got - simpson).abs() < 1e-6,
+            "quantile-domain {got} vs s-domain {simpson}"
+        );
+    }
+
+    #[test]
+    fn fixed_node_grid_agrees_with_adaptive_on_smooth_curves() {
+        // The scorer's shared grid must track the reference evaluator
+        // closely when the cost curve is smooth.
+        let dist = BetaDistribution::new(4.0, 9.0);
+        let f = |s: f64| 2.0 + 30.0 * s + 5.0 * s * s;
+        let fixed: f64 = quantile_nodes(DEFAULT_QUADRATURE_NODES)
+            .iter()
+            .map(|&(u, w)| w * f(dist.quantile(u)))
+            .sum();
+        let adaptive = beta_expected_value(&dist, f, DEFAULT_EXPECTED_VALUE_TOL);
+        assert!(
+            (fixed - adaptive).abs() < 5e-6,
+            "fixed {fixed} vs adaptive {adaptive}"
+        );
+    }
+
+    #[test]
+    fn degenerate_posterior_short_circuits_to_point_estimate() {
+        // Huge alpha+beta ⇒ std dev ~ 1e-7 ⇒ point-mass treatment.
+        let dist = BetaDistribution::new(2.0e12, 6.0e12);
+        assert!(dist.std_dev() < DEGENERATE_STD_DEV);
+        let calls = std::cell::Cell::new(0usize);
+        let got = beta_expected_value(
+            &dist,
+            |s| {
+                calls.set(calls.get() + 1);
+                100.0 * s
+            },
+            DEFAULT_EXPECTED_VALUE_TOL,
+        );
+        assert_eq!(
+            calls.get(),
+            1,
+            "spike posterior must evaluate f exactly once"
+        );
+        assert!((got - 100.0 * dist.mean()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,112 @@
+//! Differential validation of the penalty quadrature.
+//!
+//! The expected-penalty plan scorer stands on `beta_expected_value`, so
+//! a silent quadrature bug becomes a silent planner bug.  These
+//! property tests cross-check it against two independent oracles over
+//! randomly drawn posteriors and cost curves:
+//!
+//! 1. **Closed form.**  A regret curve of two linear cost candidates is
+//!    the hinge `max(0, α + βs)`, whose Beta expectation has an exact
+//!    expression through the regularized incomplete beta function.  The
+//!    quadrature must match it to better than 1e-6.
+//! 2. **Seeded Monte Carlo.**  For arbitrary piecewise-linear curves,
+//!    a deterministic sampling estimate must agree within its own
+//!    statistical error bars.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rqo_math::{beta_expected_value, regularized_incomplete_beta, BetaDistribution};
+
+/// Exact `E[max(0, α + βS)]` for `S ~ Beta(a, b)` via partial
+/// expectations: with `F` the Beta CDF,
+/// `E[S · 1{S > k}] = mean · (1 − F_{a+1,b}(k))`.
+fn hinge_expectation_closed_form(a: f64, b: f64, alpha: f64, beta: f64) -> f64 {
+    let dist = BetaDistribution::new(a, b);
+    let mean = dist.mean();
+    if beta == 0.0 {
+        return alpha.max(0.0);
+    }
+    // α + βs crosses zero at k.
+    let k = -alpha / beta;
+    let tail_mass = |k: f64, a: f64, b: f64| {
+        if k <= 0.0 {
+            1.0
+        } else if k >= 1.0 {
+            0.0
+        } else {
+            1.0 - regularized_incomplete_beta(a, b, k)
+        }
+    };
+    if beta > 0.0 {
+        // Positive part is {S > k}.
+        alpha * tail_mass(k, a, b) + beta * mean * tail_mass(k, a + 1.0, b)
+    } else {
+        // Positive part is {S < k}.
+        alpha * (1.0 - tail_mass(k, a, b)) + beta * mean * (1.0 - tail_mass(k, a + 1.0, b))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quadrature vs. closed form, pinned below 1e-6 absolute error.
+    #[test]
+    fn quadrature_matches_closed_form_hinge_regret(
+        a in 0.6f64..40.0,
+        b in 0.6f64..40.0,
+        alpha in -5.0f64..5.0,
+        beta in -20.0f64..20.0,
+    ) {
+        let dist = BetaDistribution::new(a, b);
+        let quad = beta_expected_value(&dist, |s| (alpha + beta * s).max(0.0), 1e-9);
+        let exact = hinge_expectation_closed_form(a, b, alpha, beta);
+        prop_assert!(
+            (quad - exact).abs() < 1e-6,
+            "Beta({a},{b}), hinge {alpha}+{beta}s: quadrature {quad} vs closed form {exact}"
+        );
+    }
+
+    /// Quadrature vs. a seeded Monte-Carlo oracle on piecewise-linear
+    /// cost curves (the scorer's worst case: a kink at an arbitrary
+    /// crossover selectivity).
+    #[test]
+    fn quadrature_matches_seeded_monte_carlo(
+        a in 0.6f64..40.0,
+        b in 0.6f64..40.0,
+        base in 0.0f64..10.0,
+        slope_lo in 0.0f64..50.0,
+        slope_hi in 0.0f64..50.0,
+        crossover in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        // Continuous piecewise-linear curve with a kink at `crossover`.
+        let f = move |s: f64| {
+            if s < crossover {
+                base + slope_lo * s
+            } else {
+                base + slope_lo * crossover + slope_hi * (s - crossover)
+            }
+        };
+        let dist = BetaDistribution::new(a, b);
+        let quad = beta_expected_value(&dist, f, 1e-9);
+
+        const SAMPLES: usize = 200_000;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..SAMPLES {
+            let v = f(dist.sample(&mut rng));
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mc = sum / SAMPLES as f64;
+        let variance = (sum_sq / SAMPLES as f64 - mc * mc).max(0.0);
+        // 6-sigma band plus an absolute floor for near-zero variance.
+        let tolerance = 6.0 * (variance / SAMPLES as f64).sqrt() + 1e-6;
+        prop_assert!(
+            (quad - mc).abs() < tolerance,
+            "Beta({a},{b}): quadrature {quad} vs MC {mc} (tolerance {tolerance})"
+        );
+    }
+}

@@ -33,7 +33,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use rqo_core::ConfidenceThreshold;
+use rqo_core::{ConfidenceThreshold, PlanSelection};
 
 use crate::planner::PlannedQuery;
 use crate::query::Query;
@@ -52,27 +52,49 @@ const SELECTIVITY_FLOOR: f64 = 1e-12;
 
 /// The canonical identity of a cached plan: *what was asked* (the query's
 /// canonical form), *how it was priced* (the effective confidence
-/// threshold, hint included), and *against which statistics* (the epoch).
+/// threshold and selection mode, hints included), and *against which
+/// statistics* (the epoch).
 ///
 /// Two `Query` values that differ only in construction order — table
 /// listing order, predicate attachment order — map to the same
 /// fingerprint; anything that can change the chosen plan (predicates,
-/// grouping, aggregates, threshold, statistics epoch) is part of it.
+/// grouping, aggregates, threshold, selection mode, statistics epoch) is
+/// part of it.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanFingerprint {
     canonical: String,
     /// Exact bits of the effective threshold — fingerprints must not
     /// merge thresholds that merely round alike.
     threshold_bits: u64,
+    /// The effective plan-selection mode the plan was chosen under.
+    /// Quantile and expected-penalty mode can pick different plans from
+    /// identical statistics, so the mode is part of the identity — a
+    /// penalty-mode session must never be served a quantile-mode plan.
+    selection: PlanSelection,
     epoch: u64,
 }
 
 impl PlanFingerprint {
     /// Fingerprints a query priced at `threshold` (overridden by the
     /// query's own hint, mirroring [`crate::Optimizer::optimize`])
-    /// against statistics epoch `epoch`.
+    /// against statistics epoch `epoch`, under the default (quantile)
+    /// selection mode unless the query overrides it.
     pub fn of(query: &Query, threshold: ConfidenceThreshold, epoch: u64) -> Self {
+        Self::of_with(query, threshold, epoch, PlanSelection::default())
+    }
+
+    /// [`of`](Self::of) with a caller-supplied default selection mode
+    /// (the engine's session-wide mode); the query's own
+    /// [`Query::selection`] override still wins, mirroring
+    /// [`crate::Optimizer::optimize_with`].
+    pub fn of_with(
+        query: &Query,
+        threshold: ConfidenceThreshold,
+        epoch: u64,
+        default_selection: PlanSelection,
+    ) -> Self {
         let effective = query.hint.unwrap_or(threshold);
+        let selection = query.selection.unwrap_or(default_selection);
         let mut tables: Vec<&str> = query.tables.iter().map(String::as_str).collect();
         tables.sort_unstable();
         // Same rendering as the feedback store's canonical key: sorted
@@ -92,6 +114,7 @@ impl PlanFingerprint {
         Self {
             canonical,
             threshold_bits: effective.value().to_bits(),
+            selection,
             epoch,
         }
     }
@@ -427,6 +450,8 @@ mod tests {
                 tables: vec![table.clone()],
                 predicates: vec![(table.clone(), expr.clone())],
             })],
+            selection: PlanSelection::Quantile,
+            penalty: None,
         }
     }
 
@@ -473,6 +498,31 @@ mod tests {
             base,
             PlanFingerprint::of(&query("t", 11), threshold(), 0),
             "predicate constants are part of the identity"
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_selection_mode() {
+        // Regression: before the selection mode entered the fingerprint,
+        // a penalty-mode session could be served a cached quantile plan
+        // (and vice versa) for the same query/threshold/epoch.
+        let q = query("t", 10);
+        let base = PlanFingerprint::of(&q, threshold(), 0);
+        assert_ne!(
+            base,
+            PlanFingerprint::of_with(&q, threshold(), 0, PlanSelection::ExpectedPenalty),
+            "selection mode is part of the identity"
+        );
+        // A per-query override and an equal engine-wide default agree.
+        let overridden = q.clone().with_selection(PlanSelection::ExpectedPenalty);
+        assert_eq!(
+            PlanFingerprint::of(&overridden, threshold(), 0),
+            PlanFingerprint::of_with(&q, threshold(), 0, PlanSelection::ExpectedPenalty),
+        );
+        // Quantile default round-trips through `of`.
+        assert_eq!(
+            base,
+            PlanFingerprint::of_with(&q, threshold(), 0, PlanSelection::Quantile),
         );
     }
 

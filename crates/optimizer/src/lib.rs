@@ -35,6 +35,7 @@ pub mod enumerate;
 pub mod planner;
 pub mod query;
 pub mod replan;
+pub mod selection;
 
 pub use analyze::{annotate_plan, NodeAnnotation, NodeAnnotations};
 pub use cache::{CacheStats, PlanCache, PlanFingerprint, DEFAULT_DRIFT_BOUND};
@@ -42,3 +43,6 @@ pub use cost::CostModel;
 pub use planner::{detect_sorted_columns, Optimizer, PlannedQuery};
 pub use query::Query;
 pub use replan::MaterializedFragment;
+pub use selection::{
+    price_plan, CandidateScore, PenaltyReport, PricedPlan, PENALTY_ANNOTATION_QUANTILE,
+};

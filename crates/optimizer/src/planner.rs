@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use rqo_core::CardinalityEstimator;
+use rqo_core::{CardinalityEstimator, PlanSelection};
 use rqo_exec::PhysicalPlan;
 use rqo_storage::{Catalog, CostParams, DataType};
 
@@ -11,6 +11,7 @@ use crate::analyze::{annotate_plan, estimates_only, NodeAnnotations};
 use crate::cost::CostModel;
 use crate::enumerate::{best_join_plan, PlanContext};
 use crate::query::Query;
+use crate::selection::{optimize_expected_penalty, PenaltyReport};
 
 /// The result of optimization.
 #[derive(Debug, Clone)]
@@ -28,6 +29,11 @@ pub struct PlannedQuery {
     /// (see [`crate::analyze`]): the estimated cardinality each operator
     /// was planned at, plus the `(tables, predicates)` request behind it.
     pub node_annotations: NodeAnnotations,
+    /// The plan-selection mode that chose this plan.
+    pub selection: PlanSelection,
+    /// The expected-penalty decision record, present iff `selection` is
+    /// [`PlanSelection::ExpectedPenalty`].
+    pub penalty: Option<PenaltyReport>,
 }
 
 impl PlannedQuery {
@@ -101,9 +107,33 @@ impl Optimizer {
         &self.estimator
     }
 
+    /// `(table, column)` pairs stored in non-decreasing order — shared
+    /// with the expected-penalty scorer's plan contexts.
+    pub(crate) fn sorted_columns(&self) -> &HashSet<(String, String)> {
+        &self.sorted_columns
+    }
+
     /// Optimizes a query, honouring its per-query confidence-threshold
-    /// hint when the estimation module supports hints.
+    /// hint and per-query selection mode (defaulting to quantile mode
+    /// when the query carries no override).
     pub fn optimize(&self, query: &Query) -> PlannedQuery {
+        self.optimize_with(query, PlanSelection::default())
+    }
+
+    /// Optimizes a query under a caller-supplied default selection mode;
+    /// the query's own [`Query::selection`] override still wins.  This is
+    /// how the engine threads its session-wide mode through without the
+    /// query needing to know it.
+    pub fn optimize_with(&self, query: &Query, default_selection: PlanSelection) -> PlannedQuery {
+        match query.selection.unwrap_or(default_selection) {
+            PlanSelection::Quantile => self.optimize_quantile(query),
+            PlanSelection::ExpectedPenalty => optimize_expected_penalty(self, query),
+        }
+    }
+
+    /// The paper's scheme: collapse each posterior at the confidence
+    /// threshold, then run one enumeration at those point selectivities.
+    fn optimize_quantile(&self, query: &Query) -> PlannedQuery {
         let hinted;
         let estimator: &dyn CardinalityEstimator = match query.hint {
             Some(t) => match self.estimator.hinted(t) {
@@ -149,6 +179,8 @@ impl Optimizer {
             estimated_rows: best.out_rows,
             estimator_calls: ctx.estimator_calls(),
             node_annotations,
+            selection: PlanSelection::Quantile,
+            penalty: None,
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Logical queries: the paper's SPJ-with-FK-joins model plus aggregation.
 
-use rqo_core::ConfidenceThreshold;
+use rqo_core::{ConfidenceThreshold, PlanSelection};
 use rqo_exec::AggExpr;
 use rqo_expr::Expr;
 
@@ -33,6 +33,9 @@ pub struct Query {
     /// Per-query robustness hint (paper §6.2.5), overriding the
     /// system-wide confidence threshold for this query only.
     pub hint: Option<ConfidenceThreshold>,
+    /// Per-query plan-selection mode, overriding the system-wide mode
+    /// for this query only (`None` = inherit).
+    pub selection: Option<PlanSelection>,
 }
 
 impl Query {
@@ -45,6 +48,7 @@ impl Query {
             group_by: Vec::new(),
             aggregates: Vec::new(),
             hint: None,
+            selection: None,
         }
     }
 
@@ -86,6 +90,12 @@ impl Query {
         self
     }
 
+    /// Attaches a per-query plan-selection mode.
+    pub fn with_selection(mut self, selection: PlanSelection) -> Self {
+        self.selection = Some(selection);
+        self
+    }
+
     /// The predicate attached to a table, if any.
     pub fn predicate_for(&self, table: &str) -> Option<&Expr> {
         self.predicates
@@ -112,7 +122,8 @@ mod tests {
             .filter("orders", Expr::col("o_totalprice").gt(Expr::lit(0.0)))
             .aggregate(AggExpr::count_star("n"))
             .group(&["l_partkey"])
-            .with_hint(ConfidenceThreshold::new(0.95));
+            .with_hint(ConfidenceThreshold::new(0.95))
+            .with_selection(PlanSelection::ExpectedPenalty);
         assert_eq!(q.tables.len(), 2);
         assert_eq!(q.predicates.len(), 2); // lineitem preds merged
         let li = q.predicate_for("lineitem").unwrap();
@@ -120,6 +131,7 @@ mod tests {
         assert!(q.predicate_for("part").is_none());
         assert_eq!(q.group_by, vec!["l_partkey"]);
         assert_eq!(q.hint.unwrap().percent(), 95.0);
+        assert_eq!(q.selection, Some(PlanSelection::ExpectedPenalty));
         assert_eq!(q.table_refs(), vec!["lineitem", "orders"]);
     }
 

@@ -25,13 +25,14 @@
 //! it from scratch — correctness never depends on the graft, only the
 //! cost saving does.
 
-use rqo_core::{CardinalityEstimator, FeedbackStore};
+use rqo_core::{CardinalityEstimator, ConfidenceThreshold, FeedbackStore, PlanSelection};
 use rqo_exec::PhysicalPlan;
 use rqo_expr::Expr;
 
 use crate::analyze::{annotate_plan, NodeAnnotation};
 use crate::planner::{Optimizer, PlannedQuery};
 use crate::query::Query;
+use crate::selection::PENALTY_ANNOTATION_QUANTILE;
 
 /// A finished, materialized query fragment: the spec of the subtree whose
 /// output is already in memory, and the slot its batch is bound to at
@@ -114,10 +115,18 @@ impl Optimizer {
             return (planned, false);
         };
         // Re-derive annotations for the grafted shape with the same
-        // (possibly hinted) estimator that planned it, so downstream
-        // guard arming and metric annotation stay aligned node-for-node.
+        // (possibly hinted) estimator that derived the fresh plan's own
+        // annotations, so downstream guard arming and metric annotation
+        // stay aligned node-for-node.  Penalty-mode plans annotate at
+        // the posterior median regardless of any threshold hint.
+        let annotation_hint = match query.selection.unwrap_or_default() {
+            PlanSelection::ExpectedPenalty => {
+                Some(ConfidenceThreshold::new(PENALTY_ANNOTATION_QUANTILE))
+            }
+            PlanSelection::Quantile => query.hint,
+        };
         let hinted;
-        let estimator: &dyn CardinalityEstimator = match query.hint {
+        let estimator: &dyn CardinalityEstimator = match annotation_hint {
             Some(t) => match self.estimator().hinted(t) {
                 Some(h) => {
                     hinted = h;

@@ -30,7 +30,7 @@
 use std::sync::Arc;
 
 use rqo_core::{
-    AdaptivePolicy, ConfidenceThreshold, EstimatorConfig, FeedbackStore, QueryToken,
+    AdaptivePolicy, ConfidenceThreshold, EstimatorConfig, FeedbackStore, PlanSelection, QueryToken,
     RobustEstimator, RobustnessLevel, StopReason,
 };
 use rqo_exec::{
@@ -100,6 +100,12 @@ pub struct ReplanEvent {
     pub threshold_before: ConfidenceThreshold,
     /// Escalated threshold the re-plan was optimized at.
     pub threshold_after: ConfidenceThreshold,
+    /// Selection mode the tripped plan was chosen under.
+    pub selection_before: PlanSelection,
+    /// Selection mode the re-plan was chosen under — on the second trip
+    /// the policy escalates from quantile to expected-penalty mode
+    /// (point-collapsing the posterior has failed twice).
+    pub selection_after: PlanSelection,
     /// Observed selectivities fed back before re-planning.
     pub observations: usize,
     /// Whether the re-plan grafted a `Materialized` leaf over the
@@ -117,7 +123,7 @@ impl ReplanEvent {
     pub fn render(&self) -> String {
         format!(
             "guard tripped at node {} [{}]: est {:.1} rows, actual {} rows, q-error {:.2}\n  \
-             threshold {}% -> {}%; {} observation(s) fed back; {}\n  \
+             threshold {}% -> {}%{}; {} observation(s) fed back; {}\n  \
              plan: {} -> {}",
             self.node,
             self.label,
@@ -126,6 +132,11 @@ impl ReplanEvent {
             self.q_error,
             self.threshold_before.percent(),
             self.threshold_after.percent(),
+            if self.selection_after == PlanSelection::ExpectedPenalty {
+                " [penalty]"
+            } else {
+                ""
+            },
             self.observations,
             if self.resumed {
                 "resumed from materialized checkpoint"
@@ -186,6 +197,7 @@ pub struct Engine {
     params: CostParams,
     synopses: Arc<SynopsisRepository>,
     threshold: ConfidenceThreshold,
+    selection: PlanSelection,
     sample_size: usize,
     seed: u64,
     exec_options: ExecOptions,
@@ -216,6 +228,7 @@ impl Engine {
             params,
             synopses,
             threshold: RobustnessLevel::Moderate.threshold(),
+            selection: PlanSelection::default(),
             sample_size,
             seed,
             exec_options: ExecOptions::default(),
@@ -254,6 +267,17 @@ impl Engine {
     /// Sets an explicit confidence threshold.
     pub fn set_threshold(&mut self, threshold: ConfidenceThreshold) {
         self.threshold = threshold;
+    }
+
+    /// Sets the system-wide plan-selection mode (per-query
+    /// [`Query::with_selection`] overrides still win).
+    pub fn set_selection(&mut self, selection: PlanSelection) {
+        self.selection = selection;
+    }
+
+    /// The active plan-selection mode.
+    pub fn selection(&self) -> PlanSelection {
+        self.selection
     }
 
     /// Replaces the plan cache with an empty one using `bound` as its
@@ -333,7 +357,7 @@ impl Engine {
     /// The fingerprint under which this engine would cache a query's
     /// plan right now.
     pub fn fingerprint(&self, query: &Query) -> PlanFingerprint {
-        PlanFingerprint::of(query, self.threshold, self.feedback.epoch())
+        PlanFingerprint::of_with(query, self.threshold, self.feedback.epoch(), self.selection)
     }
 
     /// Optimizes a query through the shared plan cache: a hit returns
@@ -344,7 +368,7 @@ impl Engine {
         if let Some(planned) = self.plan_cache.get(&fingerprint) {
             return planned;
         }
-        let planned = self.optimizer().optimize(query);
+        let planned = self.optimizer().optimize_with(query, self.selection);
         self.plan_cache.insert(fingerprint, planned)
     }
 
@@ -384,7 +408,7 @@ impl Engine {
         let cached = self.plan_cache.get(&fingerprint);
         let planned = match &cached {
             Some(planned) => Arc::clone(planned),
-            None => Arc::new(self.optimizer().optimize(query)),
+            None => Arc::new(self.optimizer().optimize_with(query, self.selection)),
         };
         let (batch, cost) =
             rqo_exec::try_execute_with(&planned.plan, &self.catalog, &self.params, opts)?;
@@ -452,11 +476,12 @@ impl Engine {
     ) -> Result<AdaptiveOutcome, StopReason> {
         let policy = self.adaptive_policy.clone();
         let mut threshold = query.hint.unwrap_or(self.threshold);
+        let mut selection = query.selection.unwrap_or(self.selection);
         let fingerprint = self.fingerprint(query);
         let cached = self.plan_cache.get(&fingerprint);
         let initial = match &cached {
             Some(planned) => Arc::clone(planned),
-            None => Arc::new(self.optimizer().optimize(query)),
+            None => Arc::new(self.optimizer().optimize_with(query, self.selection)),
         };
         let mut planned = Arc::clone(&initial);
         let estimated_seconds = planned.estimated_cost_ms / 1000.0;
@@ -541,7 +566,9 @@ impl Engine {
                         }
                     }
                     let before = threshold;
+                    let selection_before = selection;
                     threshold = policy.escalate(threshold, events.len());
+                    selection = policy.escalate_selection(selection, events.len());
                     let ann = planned.node_annotations[trip.node]
                         .as_ref()
                         .expect("guards are only armed on annotated nodes");
@@ -549,8 +576,10 @@ impl Engine {
                     // Re-plan directly — NOT through `optimize` — so the
                     // grafted plan never enters the plan cache; and
                     // against the fork, so a later cancellation leaves
-                    // the shared store untouched.
-                    let replan_query = query.clone().with_hint(threshold);
+                    // the shared store untouched.  The selection mode is
+                    // pinned onto the re-plan query so the replanner (and
+                    // its annotation derivation) sees the escalated mode.
+                    let replan_query = query.clone().with_hint(threshold).with_selection(selection);
                     let (new_planned, resumed) = self
                         .optimizer_with_feedback(Arc::clone(&fork))
                         .replan_with_materialized(&replan_query, &fragment);
@@ -562,6 +591,8 @@ impl Engine {
                         q_error: trip.q_error,
                         threshold_before: before,
                         threshold_after: threshold,
+                        selection_before,
+                        selection_after: selection,
                         observations,
                         resumed,
                         old_shape: planned.shape(),
@@ -585,7 +616,7 @@ impl Engine {
         query: &Query,
         opts: &ExecOptions,
     ) -> Result<AnalyzedOutcome, StopReason> {
-        let planned = Arc::new(self.optimizer().optimize(query));
+        let planned = Arc::new(self.optimizer().optimize_with(query, self.selection));
         let (batch, cost, mut metrics) =
             rqo_exec::try_execute_analyze(&planned.plan, &self.catalog, &self.params, opts)?;
         let planned = self
@@ -618,7 +649,7 @@ impl Engine {
         query: &Query,
         opts: &ExecOptions,
     ) -> Result<AnalyzedOutcome, StopReason> {
-        let planned = self.optimizer().optimize(query);
+        let planned = self.optimizer().optimize_with(query, self.selection);
         let (batch, cost, mut metrics) =
             rqo_exec::try_execute_analyze(&planned.plan, &self.catalog, &self.params, opts)?;
         metrics.annotate(&planned.node_estimates());

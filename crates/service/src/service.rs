@@ -318,6 +318,7 @@ impl QueryService {
     pub fn session(&self) -> Session {
         Session {
             service: self.clone(),
+            selection: None,
         }
     }
 
@@ -401,12 +402,33 @@ impl QueryService {
 #[derive(Clone)]
 pub struct Session {
     service: QueryService,
+    /// Session-level plan-selection mode, applied to queries that carry
+    /// no per-query override (`None` = the engine's system-wide mode).
+    selection: Option<rqo_core::PlanSelection>,
 }
 
 impl Session {
+    /// Returns a session whose queries default to `selection` mode.
+    /// Queries carrying their own [`Query::with_selection`] override are
+    /// untouched.
+    pub fn with_selection(mut self, selection: rqo_core::PlanSelection) -> Self {
+        self.selection = Some(selection);
+        self
+    }
+
+    /// The query as this session will submit it: the session selection
+    /// mode is stamped on unless the query already carries one.
+    fn effective<'q>(&self, query: &'q Query) -> std::borrow::Cow<'q, Query> {
+        match (self.selection, query.selection) {
+            (Some(mode), None) => std::borrow::Cow::Owned(query.clone().with_selection(mode)),
+            _ => std::borrow::Cow::Borrowed(query),
+        }
+    }
+
     /// Runs a query with a fresh (never-firing) handle.
     pub fn run(&self, query: &Query) -> Result<QueryOutcome, ServiceError> {
-        self.service.run(query, &QueryHandle::new())
+        self.service
+            .run(&self.effective(query), &QueryHandle::new())
     }
 
     /// Runs a query under an explicit handle (deadline/cancellation).
@@ -415,22 +437,25 @@ impl Session {
         query: &Query,
         handle: &QueryHandle,
     ) -> Result<QueryOutcome, ServiceError> {
-        self.service.run(query, handle)
+        self.service.run(&self.effective(query), handle)
     }
 
     /// `EXPLAIN ANALYZE` with a fresh handle.
     pub fn explain_analyze(&self, query: &Query) -> Result<AnalyzedOutcome, ServiceError> {
-        self.service.explain_analyze(query, &QueryHandle::new())
+        self.service
+            .explain_analyze(&self.effective(query), &QueryHandle::new())
     }
 
     /// Adaptive execution with a fresh handle.
     pub fn run_adaptive(&self, query: &Query) -> Result<AdaptiveOutcome, ServiceError> {
-        self.service.run_adaptive(query, &QueryHandle::new())
+        self.service
+            .run_adaptive(&self.effective(query), &QueryHandle::new())
     }
 
     /// Side-effect-free `EXPLAIN ANALYZE` with a fresh handle.
     pub fn analyze_quiet(&self, query: &Query) -> Result<AnalyzedOutcome, ServiceError> {
-        self.service.analyze_quiet(query, &QueryHandle::new())
+        self.service
+            .analyze_quiet(&self.effective(query), &QueryHandle::new())
     }
 
     /// The service this session is connected to.

@@ -20,6 +20,7 @@ struct Args {
     window: i64,
     level: i64,
     threshold_pct: f64,
+    selection: PlanSelection,
     scale: f64,
     fact_rows: usize,
     seed: u64,
@@ -38,6 +39,7 @@ impl Args {
             window: 212,
             level: 2,
             threshold_pct: 80.0,
+            selection: PlanSelection::Quantile,
             scale: 0.01,
             fact_rows: 500_000,
             seed: 7,
@@ -51,8 +53,9 @@ impl Args {
         if argv.is_empty() {
             eprintln!(
                 "usage: rqo_demo <exp1|exp2|exp3> [--offset N] [--window N] [--level N] \
-                 [--threshold PCT] [--scale F] [--fact-rows N] [--seed N] [--threads N] \
-                 [--explain-analyze] [--adaptive] [--force-misestimate] [--repeat N]"
+                 [--threshold PCT] [--selection quantile|penalty] [--scale F] [--fact-rows N] \
+                 [--seed N] [--threads N] [--explain-analyze] [--adaptive] \
+                 [--force-misestimate] [--repeat N]"
             );
             std::process::exit(2);
         }
@@ -84,6 +87,11 @@ impl Args {
                 "--window" => args.window = value.parse().expect("--window"),
                 "--level" => args.level = value.parse().expect("--level"),
                 "--threshold" => args.threshold_pct = value.parse().expect("--threshold"),
+                "--selection" => {
+                    args.selection = PlanSelection::parse(value).unwrap_or_else(|| {
+                        panic!("--selection expects quantile|penalty, got {value:?}")
+                    })
+                }
                 "--scale" => args.scale = value.parse().expect("--scale"),
                 "--fact-rows" => args.fact_rows = value.parse().expect("--fact-rows"),
                 "--seed" => args.seed = value.parse().expect("--seed"),
@@ -168,6 +176,7 @@ fn main() {
         args.seed,
     )
     .with_threshold(threshold)
+    .with_selection(args.selection)
     .with_exec_options(ExecOptions::with_threads(args.threads));
 
     // Plant a wildly wrong selectivity so the first plan is provably bad
@@ -195,9 +204,47 @@ fn main() {
     }
 
     println!(
-        "scenario: {}  (T = {}%, threads = {})",
-        args.scenario, args.threshold_pct, args.threads
+        "scenario: {}  (T = {}%, selection = {}, threads = {})",
+        args.scenario,
+        args.threshold_pct,
+        args.selection.label(),
+        args.threads
     );
+
+    // In penalty mode, show how the integration reached its decision:
+    // every scored candidate, the sensitivity partition, and the number
+    // of quadrature nodes spent.
+    if args.selection == PlanSelection::ExpectedPenalty {
+        let planned = db.optimize(&query);
+        if let Some(report) = &planned.penalty {
+            println!(
+                "\nexpected-penalty selection ({} candidate(s), {} quadrature node(s){}):",
+                report.candidates.len(),
+                report.nodes,
+                if report.degenerate {
+                    ", degenerate posterior"
+                } else {
+                    ""
+                }
+            );
+            for (i, c) in report.candidates.iter().enumerate() {
+                println!(
+                    "  {}{}  E[cost]={:.3}ms  E[penalty]={:.3}ms",
+                    if i == report.chosen { "*" } else { " " },
+                    c.shape,
+                    c.expected_cost,
+                    c.expected_penalty
+                );
+            }
+            if !report.sensitive.is_empty() || !report.pruned.is_empty() {
+                println!(
+                    "  sensitive: [{}]  pruned-to-median: [{}]",
+                    report.sensitive.join(", "),
+                    report.pruned.join(", ")
+                );
+            }
+        }
+    }
     let outcome = if args.adaptive {
         let adaptive = db.run_adaptive(&query);
         println!("\n{}", adaptive.render());

@@ -103,8 +103,9 @@ pub mod prelude {
     pub use rqo_core::{
         AdaptivePolicy, CardinalityEstimator, ConfidenceThreshold,
         DistributionalHistogramEstimator, EstimateSource, EstimationRequest, EstimatorConfig,
-        FeedbackStore, HistogramEstimator, MagicPolicy, OnTheFlyEstimator, Prior, QueryToken,
-        RobustEstimator, RobustnessLevel, SelectivityPosterior, ServiceConfig, StopReason,
+        FeedbackStore, HistogramEstimator, MagicPolicy, OnTheFlyEstimator, PlanSelection, Prior,
+        QueryToken, RobustEstimator, RobustnessLevel, SelectivityPosterior, ServiceConfig,
+        StopReason,
     };
     pub use rqo_datagen::workload::{
         exp1_lineitem_predicate, exp2_part_predicate, exp3_dim_predicate, true_selectivity,
@@ -121,7 +122,8 @@ pub mod prelude {
 }
 
 use rqo_core::{
-    AdaptivePolicy, ConfidenceThreshold, FeedbackStore, RobustnessLevel, ServiceConfig,
+    AdaptivePolicy, ConfidenceThreshold, FeedbackStore, PlanSelection, RobustnessLevel,
+    ServiceConfig,
 };
 use rqo_exec::ExecOptions;
 use rqo_optimizer::{CacheStats, Optimizer, PlanCache, PlanFingerprint, PlannedQuery, Query};
@@ -202,6 +204,17 @@ impl RobustDb {
         self
     }
 
+    /// Sets the system-wide plan-selection mode: classic quantile
+    /// pricing at the confidence threshold (`PlanSelection::Quantile`,
+    /// the default), or expected-penalty minimization over the full
+    /// selectivity posterior (`PlanSelection::ExpectedPenalty`).
+    /// Individual queries may still override it with
+    /// [`Query::with_selection`](rqo_optimizer::Query::with_selection).
+    pub fn with_selection(mut self, selection: PlanSelection) -> Self {
+        self.engine.set_selection(selection);
+        self
+    }
+
     /// Sets the plan cache's drift bound: a cached plan is evicted when
     /// an `EXPLAIN ANALYZE` run observes a selectivity whose q-error
     /// against the selectivity the plan was priced at exceeds `bound`.
@@ -251,6 +264,11 @@ impl RobustDb {
     /// The active confidence threshold.
     pub fn threshold(&self) -> ConfidenceThreshold {
         self.engine.threshold()
+    }
+
+    /// The active plan-selection mode.
+    pub fn selection(&self) -> PlanSelection {
+        self.engine.selection()
     }
 
     /// The execution-feedback store.  Empty until a query is run through

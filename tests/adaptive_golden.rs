@@ -91,6 +91,16 @@ fn check(label: &str, make_db: impl Fn() -> RobustDb, query: &Query) {
     }
 }
 
+/// The same three scenarios under `PlanSelection::ExpectedPenalty` from
+/// the start.  The planted misestimate is *feedback*, which overrides
+/// the posterior for every selection mode — so the first plan is the
+/// same provably-bad one and the guards still fire; the goldens pin how
+/// penalty-mode re-planning differs (median-quantile annotations, every
+/// event tagged `[penalty]` since the mode never de-escalates).
+fn penalty(query: &Query) -> Query {
+    query.clone().with_selection(PlanSelection::ExpectedPenalty)
+}
+
 #[test]
 fn adaptive_exp1_golden() {
     // Truth: the offset-110 window is essentially empty.  Planted: 90%
@@ -106,6 +116,7 @@ fn adaptive_exp1_golden() {
         db
     };
     check("adaptive_exp1", make_db, &query);
+    check("adaptive_exp1_penalty", make_db, &penalty(&query));
 }
 
 #[test]
@@ -124,6 +135,7 @@ fn adaptive_exp2_golden() {
         db
     };
     check("adaptive_exp2", make_db, &query);
+    check("adaptive_exp2_penalty", make_db, &penalty(&query));
 }
 
 #[test]
@@ -146,4 +158,5 @@ fn adaptive_exp3_golden() {
         db
     };
     check("adaptive_exp3", make_db, &query);
+    check("adaptive_exp3_penalty", make_db, &penalty(&query));
 }

@@ -190,6 +190,69 @@ fn replanned_fragments_bypass_the_plan_cache() {
 }
 
 #[test]
+fn second_guard_trip_escalates_to_penalty_selection() {
+    // The exp2 scenario at scale 0.005 trips twice: the first re-plan
+    // raises the threshold but stays in quantile mode; the second
+    // escalates to expected-penalty selection — re-planning the
+    // remainder by integrating over the posterior instead of collapsing
+    // it at an even higher quantile.
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.005,
+        seed: 42,
+    });
+    let handle = RobustDb::with_options(data.into_catalog(), CostParams::default(), 500, 42);
+    let pred = exp2_part_predicate(212);
+    let query = Query::over(&["lineitem", "orders", "part"])
+        .filter("part", pred.clone())
+        .aggregate(AggExpr::sum("l_extendedprice", "revenue"));
+    handle
+        .feedback()
+        .inject_observation(&["part"], &[("part", &pred)], 0.5);
+
+    let adaptive = handle.run_adaptive(&query);
+    assert!(
+        adaptive.replans() >= 2,
+        "scenario must trip twice to exercise the escalation ladder"
+    );
+
+    let first = &adaptive.events[0];
+    assert_eq!(first.selection_before, PlanSelection::Quantile);
+    assert_eq!(
+        first.selection_after,
+        PlanSelection::Quantile,
+        "the first trip only raises the threshold"
+    );
+    assert!(!first.render().contains("[penalty]"));
+
+    let second = &adaptive.events[1];
+    assert_eq!(second.selection_before, PlanSelection::Quantile);
+    assert_eq!(
+        second.selection_after,
+        PlanSelection::ExpectedPenalty,
+        "the second trip must switch selection modes"
+    );
+    assert!(
+        second.render().contains("[penalty]"),
+        "escalation must be visible in the event log: {}",
+        second.render()
+    );
+    assert!(
+        second.resumed,
+        "the penalty re-plan must still graft the finished fragment"
+    );
+
+    // Escalated re-plans bypass the plan cache exactly like quantile
+    // ones: the triggering fingerprint is drift-evicted and no fragment
+    // plan is ever inserted.
+    assert!(handle.cache_stats().drift_evictions >= 1);
+    assert_eq!(
+        handle.plan_cache().len(),
+        0,
+        "re-planned fragments must never be cached"
+    );
+}
+
+#[test]
 fn accurate_estimates_never_trip() {
     // No injection, and a wide predicate the sample estimates well: the
     // adaptive run must not pay any re-plans and must match `run`

@@ -1,8 +1,10 @@
 //! Hash aggregation.
 
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
-use rqo_storage::{ColumnMeta, CostTracker, DataType, Schema, Value};
+use rqo_storage::{ColumnMeta, ColumnVec, CostTracker, DataType, NullMask, Schema, Value};
 
 use crate::batch::Batch;
 use crate::plan::{AggExpr, AggFunc};
@@ -209,6 +211,315 @@ pub fn hash_aggregate_par(
     Some(finalize(
         tracker, input, group_by, aggregates, group_idx, groups,
     ))
+}
+
+/// Vectorized [`hash_aggregate`]: aggregate input columns are extracted
+/// into typed vectors once, group ids are assigned in a first pass, and
+/// each aggregate then updates its states in a tight column-at-a-time
+/// loop (`f64`/`i64` adds with a null-mask check) instead of per-row
+/// `Value` dispatch.  Updates hit each `AggState` in row order — the
+/// same float-addition sequence as the row path — so results are
+/// bit-identical, including `AVG` of empty groups and the scalar
+/// identity row.
+pub fn hash_aggregate_columnar(
+    tracker: &mut CostTracker,
+    input: Batch,
+    group_by: &[String],
+    aggregates: &[AggExpr],
+) -> Batch {
+    let (group_idx, agg_idx) = resolve_indices(&input, group_by, aggregates);
+    tracker.charge_hash_builds(input.len() as u64);
+    let agg_cols = columnarize_agg_inputs(&input, &agg_idx);
+    let int_group = int_group_ordinal(&input, &group_idx);
+    let groups = accumulate_columnar(
+        &input.rows,
+        0..input.len(),
+        &group_idx,
+        int_group,
+        &agg_cols,
+        aggregates,
+    );
+    finalize(tracker, input, group_by, aggregates, group_idx, groups)
+}
+
+/// Morsel-parallel [`hash_aggregate_columnar`], bit-identical to
+/// [`hash_aggregate_par`]: same morsel boundaries, same per-state update
+/// order within a morsel, same morsel-index-order merge.  Returns `None`
+/// when the query's token fired.
+pub fn hash_aggregate_columnar_par(
+    tracker: &mut CostTracker,
+    input: Batch,
+    group_by: &[String],
+    aggregates: &[AggExpr],
+    opts: &crate::morsel::ExecOptions,
+) -> Option<Batch> {
+    let (group_idx, agg_idx) = resolve_indices(&input, group_by, aggregates);
+    tracker.charge_hash_builds(input.len() as u64);
+    // Columnarize once, outside the morsel loop; morsels index the shared
+    // vectors by absolute row id.
+    let agg_cols = columnarize_agg_inputs(&input, &agg_idx);
+    let int_group = int_group_ordinal(&input, &group_idx);
+    let partials = crate::morsel::run_morsels(opts, input.len(), |morsel| {
+        accumulate_columnar(
+            &input.rows,
+            morsel,
+            &group_idx,
+            int_group,
+            &agg_cols,
+            aggregates,
+        )
+    })?;
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    for partial in partials {
+        for (key, states) in partial {
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut existing) => {
+                    for (into, from) in existing.get_mut().iter_mut().zip(states) {
+                        into.merge(from);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(states);
+                }
+            }
+        }
+    }
+    Some(finalize(
+        tracker, input, group_by, aggregates, group_idx, groups,
+    ))
+}
+
+/// Deterministic multiply-mix hasher for the typed `Option<i64>`
+/// group-id map: one multiply and a shift per written word, an order of
+/// magnitude cheaper than SipHash on single-integer keys.  Only group-id
+/// *assignment* uses it; the `Vec<Value>`-keyed maps the caller sees are
+/// untouched, and group ids feed a finalize step that sorts output rows,
+/// so hash iteration order never reaches results.
+#[derive(Default)]
+struct IntKeyHasher(u64);
+
+impl std::hash::Hasher for IntKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // Golden-ratio multiply with a high-bit fold (the HashMap keeps
+        // the low bits, so fold the well-mixed high bits down).
+        let mixed = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = mixed ^ (mixed >> 32);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type IntKeyMap<V> = HashMap<Option<i64>, V, std::hash::BuildHasherDefault<IntKeyHasher>>;
+
+/// The ordinal of the single declared-`Int` group-by column, when the
+/// primitive-keyed grouping fast path applies; multi-column, non-`Int`,
+/// or empty group keys stay on the generic row-major path.
+fn int_group_ordinal(input: &Batch, group_idx: &[usize]) -> Option<usize> {
+    match group_idx {
+        &[g] if input.schema.column(g).data_type == DataType::Int => Some(g),
+        _ => None,
+    }
+}
+
+/// Extracts each aggregate's input column (if any) into a typed vector,
+/// transposing each distinct ordinal once and sharing it (`Arc`) when
+/// several aggregates read the same column (e.g. `SUM`/`AVG`/`MIN`/`MAX`
+/// over one measure).
+fn columnarize_agg_inputs(input: &Batch, agg_idx: &[Option<usize>]) -> Vec<Option<Arc<ColumnVec>>> {
+    let mut by_ordinal: HashMap<usize, Arc<ColumnVec>> = HashMap::new();
+    for i in agg_idx.iter().flatten() {
+        by_ordinal.entry(*i).or_insert_with(|| {
+            Arc::new(ColumnVec::from_rows(
+                &input.rows,
+                *i,
+                input.schema.column(*i).data_type,
+            ))
+        });
+    }
+    agg_idx
+        .iter()
+        .map(|idx| idx.map(|i| Arc::clone(&by_ordinal[&i])))
+        .collect()
+}
+
+/// Columnar counterpart of [`accumulate`] for the absolute row range
+/// `range`: pass 1 assigns group ids (a primitive-keyed map when the
+/// single group column is declared `Int`, otherwise keys cloned
+/// row-major exactly like the row path); pass 2 runs one typed loop per
+/// aggregate.
+fn accumulate_columnar(
+    rows: &[Vec<Value>],
+    range: Range<usize>,
+    group_idx: &[usize],
+    int_group: Option<usize>,
+    agg_cols: &[Option<Arc<ColumnVec>>],
+    aggregates: &[AggExpr],
+) -> HashMap<Vec<Value>, Vec<AggState>> {
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    let mut gids: Vec<u32> = Vec::with_capacity(range.len());
+    let new_group = |states: &mut Vec<Vec<AggState>>| {
+        states.push(aggregates.iter().map(|a| AggState::new(a.func)).collect());
+        states.len() - 1
+    };
+    let mut typed_ok = false;
+    if let Some(g) = int_group {
+        // Single declared-Int group column: group on `Option<i64>` read
+        // straight out of the rows — no transpose, no one-element
+        // `Vec<Value>` alloc + hash per row.  NULL keys map to `None`,
+        // matching the row path's storage equality (NULL groups with
+        // NULL); the `Value` keys the caller's merge/finalize see are
+        // reconstructed below and hash identically to the row path's.
+        // A declared-Int column can still hold an off-type value (an
+        // aggregate output feeding a re-aggregation): bail out and let
+        // the generic path redo the morsel.
+        let mut typed: IntKeyMap<usize> = IntKeyMap::default();
+        typed_ok = true;
+        for i in range.clone() {
+            let key = match &rows[i][g] {
+                Value::Int(v) => Some(*v),
+                Value::Null => None,
+                _ => {
+                    typed_ok = false;
+                    break;
+                }
+            };
+            let gid = *typed.entry(key).or_insert_with(|| new_group(&mut states));
+            gids.push(gid as u32);
+        }
+        if typed_ok {
+            for (key, gid) in typed {
+                index.insert(vec![key.map_or(Value::Null, Value::Int)], gid);
+            }
+        } else {
+            states.clear();
+            gids.clear();
+        }
+    }
+    if !typed_ok {
+        for i in range.clone() {
+            let key: Vec<Value> = group_idx.iter().map(|&g| rows[i][g].clone()).collect();
+            let gid = *index.entry(key).or_insert_with(|| new_group(&mut states));
+            gids.push(gid as u32);
+        }
+    }
+    for (j, (agg, col)) in aggregates.iter().zip(agg_cols).enumerate() {
+        update_states(&mut states, &gids, range.start, j, agg.func, col.as_deref());
+    }
+    index
+        .into_iter()
+        .map(|(key, gid)| (key, std::mem::take(&mut states[gid])))
+        .collect()
+}
+
+fn null_at(nulls: Option<&NullMask>, i: usize) -> bool {
+    nulls.is_some_and(|m| m.is_null(i))
+}
+
+/// Updates aggregate `j`'s state for every row, in row order.  `SUM`,
+/// `AVG`, and `COUNT` over numeric columns run typed loops; everything
+/// else goes through [`AggState::update`] with the materialized value —
+/// same semantics (including MIN/MAX keeping the input's native type and
+/// panics on non-numeric SUM inputs), just without the per-row group
+/// lookup.
+fn update_states(
+    states: &mut [Vec<AggState>],
+    gids: &[u32],
+    start: usize,
+    j: usize,
+    func: AggFunc,
+    col: Option<&ColumnVec>,
+) {
+    let add = |state: &mut AggState, v: f64| match state {
+        AggState::Sum(acc) => *acc += v,
+        AggState::Avg { sum, count } => {
+            *sum += v;
+            *count += 1;
+        }
+        _ => unreachable!("typed add on non-SUM/AVG state"),
+    };
+    match (func, col) {
+        (AggFunc::Count, None) => {
+            // COUNT(*): every row counts.
+            for &g in gids {
+                match &mut states[g as usize][j] {
+                    AggState::Count(n) => *n += 1,
+                    _ => unreachable!("COUNT state"),
+                }
+            }
+        }
+        (AggFunc::Count, Some(col)) => {
+            // COUNT(col): skip NULLs.
+            for (k, &g) in gids.iter().enumerate() {
+                if !col.is_null(start + k) {
+                    match &mut states[g as usize][j] {
+                        AggState::Count(n) => *n += 1,
+                        _ => unreachable!("COUNT state"),
+                    }
+                }
+            }
+        }
+        (AggFunc::Sum | AggFunc::Avg, Some(ColumnVec::Int { values, nulls })) => {
+            for (k, &g) in gids.iter().enumerate() {
+                let i = start + k;
+                if !null_at(nulls.as_ref(), i) {
+                    add(&mut states[g as usize][j], values[i] as f64);
+                }
+            }
+        }
+        (AggFunc::Sum | AggFunc::Avg, Some(ColumnVec::Float { values, nulls })) => {
+            for (k, &g) in gids.iter().enumerate() {
+                let i = start + k;
+                if !null_at(nulls.as_ref(), i) {
+                    add(&mut states[g as usize][j], values[i]);
+                }
+            }
+        }
+        (AggFunc::Sum | AggFunc::Avg, Some(ColumnVec::Date { values, nulls })) => {
+            // `Value::as_f64` widens dates like any numeric.
+            for (k, &g) in gids.iter().enumerate() {
+                let i = start + k;
+                if !null_at(nulls.as_ref(), i) {
+                    add(&mut states[g as usize][j], values[i] as f64);
+                }
+            }
+        }
+        (_, Some(col)) => {
+            // MIN/MAX (any type), SUM/AVG over Mixed or non-numeric
+            // columns: materialize the value and use the row-path update.
+            for (k, &g) in gids.iter().enumerate() {
+                let v = col.value(start + k);
+                states[g as usize][j].update(Some(&v));
+            }
+        }
+        (_, None) => {
+            // Non-COUNT aggregate without a column: panics in update,
+            // exactly like the row path.
+            for &g in gids {
+                states[g as usize][j].update(None);
+            }
+        }
+    }
 }
 
 /// Resolves grouping and aggregate-input column ordinals.
@@ -444,6 +755,81 @@ mod tests {
             &ExecOptions::with_threads(4),
         )
         .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Float(0.0));
+        assert_eq!(out.rows[0][1], Value::Int(0));
+    }
+
+    #[test]
+    fn columnar_aggregate_is_bit_identical_to_row_aggregate() {
+        use crate::morsel::ExecOptions;
+        // NULL-heavy float column plus an Int column so MIN/MAX keep the
+        // native type and SUM widens; irrational values so float addition
+        // order matters and bit-identity is a real claim.
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| {
+                let x = if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float((i as f64).sqrt())
+                };
+                vec![Value::Int(i % 7), x, Value::Int(i % 11)]
+            })
+            .collect();
+        let b = Batch::new(
+            Schema::from_pairs(&[
+                ("g", DataType::Int),
+                ("x", DataType::Float),
+                ("y", DataType::Int),
+            ]),
+            rows,
+        );
+        let aggs = [
+            AggExpr::sum("x", "s"),
+            AggExpr::count_star("n"),
+            AggExpr {
+                func: AggFunc::Count,
+                column: Some("x".into()),
+                alias: "cx".into(),
+            },
+            AggExpr::avg("x", "a"),
+            AggExpr::min("y", "lo"),
+            AggExpr::max("x", "hi"),
+        ];
+        for group_by in [vec![], vec!["g".to_string()]] {
+            let mut ts = CostTracker::new();
+            let serial = hash_aggregate(&mut ts, b.clone(), &group_by, &aggs);
+            let mut tc = CostTracker::new();
+            let columnar = hash_aggregate_columnar(&mut tc, b.clone(), &group_by, &aggs);
+            assert_eq!(columnar.rows, serial.rows);
+            assert_eq!(tc, ts);
+            // MIN over the Int column keeps its native type.
+            let lo_idx = columnar.schema.expect_index("lo");
+            assert!(matches!(columnar.rows[0][lo_idx], Value::Int(_)));
+            for threads in [1, 2, 8] {
+                let opts = ExecOptions::with_threads(threads).with_morsel_size(64);
+                let mut tp = CostTracker::new();
+                let par = hash_aggregate_columnar_par(&mut tp, b.clone(), &group_by, &aggs, &opts)
+                    .unwrap();
+                let mut tr = CostTracker::new();
+                let row_par =
+                    hash_aggregate_par(&mut tr, b.clone(), &group_by, &aggs, &opts).unwrap();
+                assert_eq!(par.rows, row_par.rows, "threads={threads}");
+                assert_eq!(tp, tr, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_aggregate_empty_input_identity_row() {
+        let empty = Batch::empty(Schema::from_pairs(&[("x", DataType::Float)]));
+        let mut tracker = CostTracker::new();
+        let out = hash_aggregate_columnar(
+            &mut tracker,
+            empty,
+            &[],
+            &[AggExpr::sum("x", "s"), AggExpr::count_star("n")],
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows[0][0], Value::Float(0.0));
         assert_eq!(out.rows[0][1], Value::Int(0));

@@ -16,12 +16,16 @@ impl Batch {
     ///
     /// # Panics
     ///
-    /// In debug builds, panics when any row's arity differs from the
-    /// schema.
+    /// Panics when any row's arity differs from the schema.  The check is
+    /// always on (not `debug_assert!`): it is one `usize` compare per row,
+    /// and it guards the storage→exec boundary — a malformed row here would
+    /// otherwise make every downstream columnar kernel silently misread
+    /// columns.
     pub fn new(schema: Schema, rows: Vec<Vec<Value>>) -> Self {
-        debug_assert!(
+        assert!(
             rows.iter().all(|r| r.len() == schema.len()),
-            "row arity mismatch"
+            "row arity mismatch: batch schema has {} columns",
+            schema.len()
         );
         Self { schema, rows }
     }
@@ -115,6 +119,26 @@ mod tests {
         let joined = Batch::from_parts(b.schema.clone(), parts);
         assert_eq!(joined.rows, b.rows);
         assert!(Batch::from_parts(b.schema.clone(), Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn new_rejects_short_rows_in_all_builds() {
+        // Regression: this used to be debug-only, so a release build would
+        // silently accept the malformed row and misread columns downstream.
+        Batch::new(
+            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]),
+            vec![vec![Value::Int(1)]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn from_parts_rejects_malformed_chunks() {
+        Batch::from_parts(
+            Schema::from_pairs(&[("a", DataType::Int)]),
+            vec![vec![vec![Value::Int(1), Value::Int(2)]]],
+        );
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Columnar batch views and selection vectors.
+//!
+//! The executor's unit of exchange stays the row-major [`crate::Batch`]
+//! (pipeline breakers, the service, golden tests, and adaptive grafts all
+//! consume rows), but *inside* the hot operators data is transposed into
+//! typed [`ColumnVec`]s once per batch and processed with selection
+//! vectors.  This module holds the shared plumbing: [`SelVec`] (a checked
+//! ascending row-id list), [`columnarize`] (row-major → typed columns for
+//! exactly the ordinals a kernel touches), and [`gather_rows`] (the
+//! row-materialization boundary, column-at-a-time).
+
+use rqo_storage::{ColumnRef, ColumnVec, Schema, Value};
+
+/// A selection vector: strictly ascending row ids below a bound.
+///
+/// Construction always checks the cheap O(1) cardinality invariant and,
+/// under debug assertions, the full per-element bounds/sortedness/
+/// uniqueness invariants (exercised in CI by the debug-assertions job).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelVec {
+    ids: Vec<u32>,
+    bound: usize,
+}
+
+impl SelVec {
+    /// Wraps a selection produced by a kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more ids are selected than candidate rows exist; under
+    /// debug assertions, also panics unless the ids are strictly
+    /// ascending and below `bound`.
+    pub fn new(ids: Vec<u32>, bound: usize) -> Self {
+        assert!(
+            ids.len() <= bound,
+            "selection of {} ids exceeds {} candidate rows",
+            ids.len(),
+            bound
+        );
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "selection vector must be strictly ascending"
+        );
+        debug_assert!(
+            ids.last().is_none_or(|&last| (last as usize) < bound),
+            "selection id {:?} out of bounds {bound}",
+            ids.last()
+        );
+        Self { ids, bound }
+    }
+
+    /// The whole range `0..n` selected.
+    pub fn all(n: usize) -> Self {
+        Self {
+            ids: (0..n as u32).collect(),
+            bound: n,
+        }
+    }
+
+    /// The selected row ids, ascending.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Exclusive upper bound on ids (the candidate row count).
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Transposes the columns named by `ords` out of row-major `rows` into
+/// typed vectors, returning a full-arity `Vec` with `Some` exactly at
+/// those ordinals — the shape [`rqo_expr::columnar::select`] consumes.
+pub fn columnarize(rows: &[Vec<Value>], schema: &Schema, ords: &[usize]) -> Vec<Option<ColumnVec>> {
+    let mut out: Vec<Option<ColumnVec>> = (0..schema.len()).map(|_| None).collect();
+    for &ord in ords {
+        if out[ord].is_none() {
+            out[ord] = Some(ColumnVec::from_rows(
+                rows,
+                ord,
+                schema.column(ord).data_type,
+            ));
+        }
+    }
+    out
+}
+
+/// Borrowed views of a columnarized batch, `None` where not transposed.
+pub fn column_refs(cols: &[Option<ColumnVec>]) -> Vec<Option<ColumnRef<'_>>> {
+    cols.iter()
+        .map(|c| c.as_ref().map(ColumnVec::as_column_ref))
+        .collect()
+}
+
+/// Materializes the selected rows from typed columns, column-at-a-time —
+/// the row-materialization boundary.  Row order follows the selection
+/// vector, and each row's values come out in column order, exactly like
+/// row-at-a-time materialization.
+pub fn gather_rows(cols: &[ColumnRef<'_>], sel: &SelVec) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = sel
+        .ids()
+        .iter()
+        .map(|_| Vec::with_capacity(cols.len()))
+        .collect();
+    for col in cols {
+        for (row, &i) in rows.iter_mut().zip(sel.ids()) {
+            row.push(col.value(i as usize));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqo_storage::DataType;
+
+    #[test]
+    fn sel_vec_invariants() {
+        let s = SelVec::new(vec![0, 2, 5], 6);
+        assert_eq!(s.ids(), &[0, 2, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(SelVec::all(3).ids(), &[0, 1, 2]);
+        assert!(SelVec::new(Vec::new(), 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn sel_vec_rejects_overfull_selection() {
+        SelVec::new(vec![0, 1, 2], 2);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug-assertions only")]
+    #[should_panic(expected = "ascending")]
+    fn sel_vec_rejects_unsorted_ids() {
+        SelVec::new(vec![2, 1, 0], 9);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug-assertions only")]
+    #[should_panic(expected = "out of bounds")]
+    fn sel_vec_rejects_out_of_bounds_ids() {
+        SelVec::new(vec![0, 7], 7);
+    }
+
+    #[test]
+    fn columnarize_and_gather_roundtrip() {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Str),
+            ("c", DataType::Float),
+        ]);
+        let rows = vec![
+            vec![Value::Int(1), Value::str("x"), Value::Float(0.5)],
+            vec![Value::Null, Value::str("y"), Value::Float(1.5)],
+            vec![Value::Int(3), Value::str("x"), Value::Null],
+        ];
+        let cols = columnarize(&rows, &schema, &[0, 1, 2]);
+        let refs: Vec<ColumnRef<'_>> = cols
+            .iter()
+            .map(|c| c.as_ref().unwrap().as_column_ref())
+            .collect();
+        let sel = SelVec::new(vec![0, 2], rows.len());
+        let got = gather_rows(&refs, &sel);
+        assert_eq!(got, vec![rows[0].clone(), rows[2].clone()]);
+        let all = gather_rows(&refs, &SelVec::all(rows.len()));
+        assert_eq!(all, rows);
+    }
+
+    #[test]
+    fn columnarize_only_requested_ordinals() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let rows = vec![vec![Value::Int(1), Value::Int(2)]];
+        let cols = columnarize(&rows, &schema, &[1]);
+        assert!(cols[0].is_none());
+        assert!(cols[1].is_some());
+    }
+}

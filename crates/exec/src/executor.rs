@@ -6,15 +6,22 @@ use rqo_core::StopReason;
 use rqo_storage::{Catalog, CostParams, CostTracker};
 
 use crate::adaptive::{GuardTrip, RowGuard};
-use crate::agg::{hash_aggregate, hash_aggregate_par};
+use crate::agg::{
+    hash_aggregate, hash_aggregate_columnar, hash_aggregate_columnar_par, hash_aggregate_par,
+};
 use crate::batch::Batch;
 use crate::join::{
-    hash_join, hash_join_par, indexed_nl_join, indexed_nl_join_par, merge_join, star_semijoin,
+    hash_join, hash_join_columnar, hash_join_columnar_par, hash_join_par, indexed_nl_join,
+    indexed_nl_join_par, merge_join, star_semijoin,
 };
+use crate::kernels::{filter_batch, project_batch};
 use crate::metrics::OpMetrics;
 use crate::morsel::{run_morsels, ExecOptions};
 use crate::plan::PhysicalPlan;
-use crate::scan::{index_intersection_counted, index_seek_counted, seq_scan, seq_scan_par};
+use crate::scan::{
+    index_intersection_counted, index_seek_counted, seq_scan, seq_scan_columnar,
+    seq_scan_columnar_par, seq_scan_par,
+};
 
 /// Why the interpreter unwound before producing the root's result:
 /// either a cardinality guard tripped (adaptive re-planning takes over)
@@ -48,6 +55,13 @@ pub fn execute(
 /// The returned [`CostTracker`] is the deterministic merge of per-morsel
 /// trackers and is **bit-identical for every thread count**: simulated
 /// cost models the plan's work, not the host's parallelism.
+///
+/// Sequential scans, filters, projections, hash joins, and hash
+/// aggregates run on **vectorized columnar kernels** by default
+/// (see [`crate::columnar`] and [`crate::kernels`]); setting
+/// `opts.row_fallback` routes them through the original row-at-a-time
+/// code instead.  The two paths are bit-identical — rows, order, costs,
+/// metrics, and guard trips — pinned by the equivalence suites.
 pub fn execute_with(
     plan: &PhysicalPlan,
     catalog: &Catalog,
@@ -176,11 +190,19 @@ fn run(
     let (batch, rows_in, morsels, peak_hash_entries, children) = match plan {
         PhysicalPlan::SeqScan { table, predicate } => {
             let n = catalog.table(table).expect("table exists").num_rows();
-            let batch = if parallel {
-                seq_scan_par(catalog, params, tracker, table, predicate.as_ref(), opts)
-                    .ok_or_else(stopped)?
-            } else {
-                seq_scan(catalog, params, tracker, table, predicate.as_ref())
+            let batch = match (opts.row_fallback, parallel) {
+                (false, false) => {
+                    seq_scan_columnar(catalog, params, tracker, table, predicate.as_ref())
+                }
+                (false, true) => {
+                    seq_scan_columnar_par(catalog, params, tracker, table, predicate.as_ref(), opts)
+                        .ok_or_else(stopped)?
+                }
+                (true, false) => seq_scan(catalog, params, tracker, table, predicate.as_ref()),
+                (true, true) => {
+                    seq_scan_par(catalog, params, tracker, table, predicate.as_ref(), opts)
+                        .ok_or_else(stopped)?
+                }
             };
             (batch, n as u64, opts.morsel_count(n), 0, vec![])
         }
@@ -223,7 +245,9 @@ fn run(
             let n = batch.len();
             let bound = predicate.bind(&batch.schema).expect("filter binds");
             tracker.charge_cpu_ops(n as u64);
-            let out = if parallel {
+            let out = if !opts.row_fallback {
+                filter_batch(batch, &bound, parallel.then_some(opts)).ok_or_else(stopped)?
+            } else if parallel {
                 let parts = run_morsels(opts, batch.rows.len(), |morsel| -> Vec<_> {
                     batch.rows[morsel]
                         .iter()
@@ -252,7 +276,10 @@ fn run(
                 .collect();
             tracker.charge_cpu_ops(n as u64);
             let schema = batch.schema.project(&ordinals);
-            let out = if parallel {
+            let out = if !opts.row_fallback {
+                project_batch(batch, &ordinals, schema, parallel.then_some(opts))
+                    .ok_or_else(stopped)?
+            } else if parallel {
                 let parts = run_morsels(opts, batch.rows.len(), |morsel| -> Vec<_> {
                     batch.rows[morsel]
                         .iter()
@@ -280,10 +307,14 @@ fn run(
             let (b, mb) = run(build, env, tracker, counter)?;
             let (p, mp) = run(probe, env, tracker, counter)?;
             let (build_len, probe_len) = (b.len(), p.len());
-            let out = if parallel {
-                hash_join_par(tracker, b, p, build_key, probe_key, opts).ok_or_else(stopped)?
-            } else {
-                hash_join(tracker, b, p, build_key, probe_key)
+            let out = match (opts.row_fallback, parallel) {
+                (false, false) => hash_join_columnar(tracker, b, p, build_key, probe_key),
+                (false, true) => hash_join_columnar_par(tracker, b, p, build_key, probe_key, opts)
+                    .ok_or_else(stopped)?,
+                (true, false) => hash_join(tracker, b, p, build_key, probe_key),
+                (true, true) => {
+                    hash_join_par(tracker, b, p, build_key, probe_key, opts).ok_or_else(stopped)?
+                }
             };
             (
                 out,
@@ -356,11 +387,15 @@ fn run(
         } => {
             let (batch, child) = run(input, env, tracker, counter)?;
             let n = batch.len();
-            let out = if parallel {
-                hash_aggregate_par(tracker, batch, group_by, aggregates, opts)
-                    .ok_or_else(stopped)?
-            } else {
-                hash_aggregate(tracker, batch, group_by, aggregates)
+            let out = match (opts.row_fallback, parallel) {
+                (false, false) => hash_aggregate_columnar(tracker, batch, group_by, aggregates),
+                (false, true) => {
+                    hash_aggregate_columnar_par(tracker, batch, group_by, aggregates, opts)
+                        .ok_or_else(stopped)?
+                }
+                (true, false) => hash_aggregate(tracker, batch, group_by, aggregates),
+                (true, true) => hash_aggregate_par(tracker, batch, group_by, aggregates, opts)
+                    .ok_or_else(stopped)?,
             };
             // Groups resident in the hash table; the scalar aggregate over
             // empty input synthesizes its identity row without one.
@@ -580,6 +615,50 @@ mod tests {
             let (par, par_cost) = execute_with(&plan, &cat, &params, &opts);
             assert_eq!(par.rows, serial.rows, "threads={threads}");
             assert_eq!(par_cost, serial_cost, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn columnar_default_is_bit_identical_to_row_fallback() {
+        let cat = catalog();
+        let params = CostParams::default();
+        // Scan+filter+project+join+aggregate, all five columnar kernels.
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(PhysicalPlan::HashJoin {
+                        build: Box::new(PhysicalPlan::SeqScan {
+                            table: "orders".into(),
+                            predicate: Some(Expr::col("o_id").lt(Expr::lit(40i64))),
+                        }),
+                        probe: Box::new(PhysicalPlan::SeqScan {
+                            table: "items".into(),
+                            predicate: None,
+                        }),
+                        build_key: "o_id".into(),
+                        probe_key: "i_order".into(),
+                    }),
+                    predicate: Expr::col("i_price").lt(Expr::lit(70.0)),
+                }),
+                columns: vec!["o_cust".into(), "i_price".into()],
+            }),
+            group_by: vec!["o_cust".into()],
+            aggregates: vec![AggExpr::sum("i_price", "total"), AggExpr::count_star("n")],
+        };
+        let row_opts = ExecOptions::serial()
+            .with_morsel_size(16)
+            .with_row_fallback(true);
+        let (row, row_cost, row_metrics) = execute_analyze(&plan, &cat, &params, &row_opts);
+        for threads in [1, 2, 8] {
+            for fallback in [false, true] {
+                let opts = ExecOptions::with_threads(threads)
+                    .with_morsel_size(16)
+                    .with_row_fallback(fallback);
+                let (b, c, m) = execute_analyze(&plan, &cat, &params, &opts);
+                assert_eq!(b.rows, row.rows, "threads={threads} fallback={fallback}");
+                assert_eq!(c, row_cost, "threads={threads} fallback={fallback}");
+                assert_eq!(m, row_metrics, "threads={threads} fallback={fallback}");
+            }
         }
     }
 

@@ -2,8 +2,10 @@
 //! star semijoin strategy.
 
 use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
 
-use rqo_storage::{Catalog, CostParams, CostTracker, Rid, Value};
+use rqo_storage::{Catalog, ColumnVec, CostParams, CostTracker, NullMask, Rid, Value};
 
 use crate::batch::Batch;
 use crate::morsel::{run_morsels, ExecOptions};
@@ -106,6 +108,249 @@ pub fn hash_join_par(
         out
     })?;
     let out: Vec<Vec<Value>> = parts.into_iter().flatten().collect();
+    tracker.charge_cpu_ops(out.len() as u64);
+    Some(Batch::new(schema, out))
+}
+
+/// Vectorized [`hash_join`]: extracts both key columns into typed
+/// vectors once and, when the two sides are the same type family, builds
+/// and probes a *primitive-keyed* hash table (`i64`, `f64` bits,
+/// `Arc<str>`, `bool`) instead of hashing `Value`s — no per-row `Value`
+/// clone or enum dispatch on the hot path.
+///
+/// Key semantics replicate the row path exactly:
+///
+/// - NULL keys map to `None`, matching `Value::total_cmp`'s
+///   NULL-equals-NULL storage equality that the row path's
+///   `HashMap<Value, _>` uses;
+/// - float keys use `f64::to_bits`, the same equivalence the row path
+///   gets from `Value`'s `total_cmp`-based `Eq` and `to_bits`-based
+///   `Hash`;
+/// - mismatched type families (e.g. an `Int` build key probed by a
+///   `Date`, where `Value`'s tag-prefixed `Hash` never finds the
+///   bucket even though `Eq` would coerce) and `Mixed` columns fall back
+///   to the row implementation wholesale, bug-for-bug.
+pub fn hash_join_columnar(
+    tracker: &mut CostTracker,
+    build: Batch,
+    probe: Batch,
+    build_key: &str,
+    probe_key: &str,
+) -> Batch {
+    hash_join_columnar_inner(tracker, build, probe, build_key, probe_key, None)
+        .expect("serial hash join has no token to interrupt it")
+}
+
+/// Morsel-parallel [`hash_join_columnar`], bit-identical to
+/// [`hash_join_par`].  Returns `None` when the query's token fired.
+pub fn hash_join_columnar_par(
+    tracker: &mut CostTracker,
+    build: Batch,
+    probe: Batch,
+    build_key: &str,
+    probe_key: &str,
+    opts: &ExecOptions,
+) -> Option<Batch> {
+    hash_join_columnar_inner(tracker, build, probe, build_key, probe_key, Some(opts))
+}
+
+fn hash_join_columnar_inner(
+    tracker: &mut CostTracker,
+    build: Batch,
+    probe: Batch,
+    build_key: &str,
+    probe_key: &str,
+    opts: Option<&ExecOptions>,
+) -> Option<Batch> {
+    let bk = build.schema.expect_index(build_key);
+    let pk = probe.schema.expect_index(probe_key);
+    let bcol = ColumnVec::from_rows(&build.rows, bk, build.schema.column(bk).data_type);
+    let pcol = ColumnVec::from_rows(&probe.rows, pk, probe.schema.column(pk).data_type);
+
+    fn key_null(nulls: &Option<NullMask>) -> impl Fn(usize) -> bool + Sync + '_ {
+        move |i| nulls.as_ref().is_some_and(|m| m.is_null(i))
+    }
+
+    match (&bcol, &pcol) {
+        (
+            ColumnVec::Int {
+                values: bv,
+                nulls: bn,
+            },
+            ColumnVec::Int {
+                values: pv,
+                nulls: pn,
+            },
+        ) => {
+            let (bnull, pnull) = (key_null(bn), key_null(pn));
+            join_typed(
+                tracker,
+                &build,
+                &probe,
+                |i| (!bnull(i)).then(|| bv[i]),
+                |i| (!pnull(i)).then(|| pv[i]),
+                opts,
+            )
+        }
+        (
+            ColumnVec::Float {
+                values: bv,
+                nulls: bn,
+            },
+            ColumnVec::Float {
+                values: pv,
+                nulls: pn,
+            },
+        ) => {
+            // total_cmp equality ⟺ identical bit patterns, so the bits are
+            // the exact key equivalence the row path uses.
+            let (bnull, pnull) = (key_null(bn), key_null(pn));
+            join_typed(
+                tracker,
+                &build,
+                &probe,
+                |i| (!bnull(i)).then(|| bv[i].to_bits()),
+                |i| (!pnull(i)).then(|| pv[i].to_bits()),
+                opts,
+            )
+        }
+        (
+            ColumnVec::Date {
+                values: bv,
+                nulls: bn,
+            },
+            ColumnVec::Date {
+                values: pv,
+                nulls: pn,
+            },
+        ) => {
+            let (bnull, pnull) = (key_null(bn), key_null(pn));
+            join_typed(
+                tracker,
+                &build,
+                &probe,
+                |i| (!bnull(i)).then(|| bv[i]),
+                |i| (!pnull(i)).then(|| pv[i]),
+                opts,
+            )
+        }
+        (
+            ColumnVec::Bool {
+                values: bv,
+                nulls: bn,
+            },
+            ColumnVec::Bool {
+                values: pv,
+                nulls: pn,
+            },
+        ) => {
+            let (bnull, pnull) = (key_null(bn), key_null(pn));
+            join_typed(
+                tracker,
+                &build,
+                &probe,
+                |i| (!bnull(i)).then(|| bv[i]),
+                |i| (!pnull(i)).then(|| pv[i]),
+                opts,
+            )
+        }
+        (
+            ColumnVec::Str {
+                codes: bc,
+                dict: bd,
+                nulls: bn,
+            },
+            ColumnVec::Str {
+                codes: pc,
+                dict: pd,
+                nulls: pn,
+            },
+        ) => {
+            // Keys are the dictionary strings themselves (`Arc<str>`
+            // hashes/compares by content); cloning one is a refcount bump.
+            let (bnull, pnull) = (key_null(bn), key_null(pn));
+            join_typed(
+                tracker,
+                &build,
+                &probe,
+                |i| (!bnull(i)).then(|| Arc::clone(&bd[bc[i] as usize])),
+                |i| (!pnull(i)).then(|| Arc::clone(&pd[pc[i] as usize])),
+                opts,
+            )
+        }
+        _ => match opts {
+            None => Some(hash_join(tracker, build, probe, build_key, probe_key)),
+            Some(o) => hash_join_par(tracker, build, probe, build_key, probe_key, o),
+        },
+    }
+}
+
+/// Shared build/probe skeleton over primitive keys.  `None` keys are NULL
+/// and join with each other, mirroring `Value::Null`'s storage equality.
+/// Structure (build in row order, probe in row order, morsel-index-order
+/// merges, identical charges) matches [`hash_join`]/[`hash_join_par`]
+/// line for line, so rows, row order, and costs are bit-identical.
+fn join_typed<K, FB, FP>(
+    tracker: &mut CostTracker,
+    build: &Batch,
+    probe: &Batch,
+    bkey: FB,
+    pkey: FP,
+    opts: Option<&ExecOptions>,
+) -> Option<Batch>
+where
+    K: Hash + Eq + Send + Sync,
+    FB: Fn(usize) -> Option<K> + Sync,
+    FP: Fn(usize) -> Option<K> + Sync,
+{
+    let schema = join_schemas(build, probe);
+
+    tracker.charge_hash_builds(build.len() as u64);
+    let mut table: HashMap<Option<K>, Vec<usize>> = HashMap::with_capacity(build.len());
+    match opts {
+        None => {
+            for i in 0..build.len() {
+                table.entry(bkey(i)).or_default().push(i);
+            }
+        }
+        Some(o) => {
+            let partials = run_morsels(o, build.len(), |morsel| {
+                let mut local: HashMap<Option<K>, Vec<usize>> = HashMap::new();
+                for i in morsel {
+                    local.entry(bkey(i)).or_default().push(i);
+                }
+                local
+            })?;
+            for partial in partials {
+                for (key, mut indices) in partial {
+                    table.entry(key).or_default().append(&mut indices);
+                }
+            }
+        }
+    }
+
+    tracker.charge_hash_probes(probe.len() as u64);
+    let emit = |range: std::ops::Range<usize>| -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        for i in range {
+            if let Some(matches) = table.get(&pkey(i)) {
+                let prow = &probe.rows[i];
+                for &bi in matches {
+                    let mut row = build.rows[bi].clone();
+                    row.extend(prow.iter().cloned());
+                    out.push(row);
+                }
+            }
+        }
+        out
+    };
+    let out: Vec<Vec<Value>> = match opts {
+        None => emit(0..probe.len()),
+        Some(o) => run_morsels(o, probe.len(), emit)?
+            .into_iter()
+            .flatten()
+            .collect(),
+    };
     tracker.charge_cpu_ops(out.len() as u64);
     Some(Batch::new(schema, out))
 }
@@ -519,6 +764,100 @@ mod tests {
             .unwrap();
             assert_eq!(par.rows, serial.rows, "threads={threads}");
             assert_eq!(tp, ts, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn columnar_hash_join_is_bit_identical_to_row_join() {
+        let bkeys: Vec<i64> = (0..100).map(|i| i % 13).collect();
+        let bvals: Vec<i64> = (0..100).collect();
+        let pkeys: Vec<i64> = (0..150).map(|i| i % 19).collect();
+        let pvals: Vec<i64> = (0..150).collect();
+        let l = batch("a", &bkeys, &bvals);
+        let r = batch("b", &pkeys, &pvals);
+        let mut ts = CostTracker::new();
+        let serial = hash_join(&mut ts, l.clone(), r.clone(), "a_key", "b_key");
+        let mut tc = CostTracker::new();
+        let columnar = hash_join_columnar(&mut tc, l.clone(), r.clone(), "a_key", "b_key");
+        assert_eq!(columnar.rows, serial.rows);
+        assert_eq!(tc, ts);
+        for threads in [1, 2, 8] {
+            let opts = ExecOptions::with_threads(threads).with_morsel_size(16);
+            let mut tp = CostTracker::new();
+            let par =
+                hash_join_columnar_par(&mut tp, l.clone(), r.clone(), "a_key", "b_key", &opts)
+                    .unwrap();
+            assert_eq!(par.rows, serial.rows, "threads={threads}");
+            assert_eq!(tp, ts, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn columnar_hash_join_typed_and_null_keys() {
+        // Str keys, Float keys (incl. -0.0 vs 0.0 distinctness), NULL
+        // keys (which join with each other under storage equality), and a
+        // cross-type Int-vs-Float pairing that exercises the row
+        // fallback.
+        let str_batch = |prefix: &str, keys: &[&str]| {
+            Batch::new(
+                Schema::from_pairs(&[(&format!("{prefix}_key"), DataType::Str)]),
+                keys.iter().map(|&k| vec![Value::str(k)]).collect(),
+            )
+        };
+        let cases: Vec<(Batch, Batch)> = vec![
+            (
+                str_batch("a", &["x", "y", "x", "z"]),
+                str_batch("b", &["x", "z", "w", "x"]),
+            ),
+            (
+                Batch::new(
+                    Schema::from_pairs(&[("a_key", DataType::Float)]),
+                    vec![
+                        vec![Value::Float(0.0)],
+                        vec![Value::Float(-0.0)],
+                        vec![Value::Float(2.5)],
+                        vec![Value::Null],
+                    ],
+                ),
+                Batch::new(
+                    Schema::from_pairs(&[("b_key", DataType::Float)]),
+                    vec![
+                        vec![Value::Float(0.0)],
+                        vec![Value::Float(2.5)],
+                        vec![Value::Null],
+                    ],
+                ),
+            ),
+            (
+                Batch::new(
+                    Schema::from_pairs(&[("a_key", DataType::Int)]),
+                    vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(2)]],
+                ),
+                Batch::new(
+                    Schema::from_pairs(&[("b_key", DataType::Float)]),
+                    vec![vec![Value::Float(1.0)], vec![Value::Null]],
+                ),
+            ),
+        ];
+        for (l, r) in cases {
+            let mut ts = CostTracker::new();
+            let serial = hash_join(&mut ts, l.clone(), r.clone(), "a_key", "b_key");
+            let mut tc = CostTracker::new();
+            let columnar = hash_join_columnar(&mut tc, l.clone(), r.clone(), "a_key", "b_key");
+            assert_eq!(columnar.rows, serial.rows);
+            assert_eq!(tc, ts);
+            let opts = ExecOptions::with_threads(2).with_morsel_size(2);
+            let mut tp = CostTracker::new();
+            let par =
+                hash_join_columnar_par(&mut tp, l.clone(), r.clone(), "a_key", "b_key", &opts)
+                    .unwrap();
+            // Parallel row path is the ground truth for ordering too.
+            let mut tr = CostTracker::new();
+            let row_par =
+                hash_join_par(&mut tr, l.clone(), r.clone(), "a_key", "b_key", &opts).unwrap();
+            assert_eq!(par.rows, row_par.rows);
+            assert_eq!(par.rows, serial.rows);
+            assert_eq!(tp, ts);
         }
     }
 

@@ -46,8 +46,10 @@
 pub mod adaptive;
 pub mod agg;
 pub mod batch;
+pub mod columnar;
 pub mod executor;
 pub mod join;
+pub mod kernels;
 pub mod metrics;
 pub mod morsel;
 pub mod plan;
@@ -55,6 +57,7 @@ pub mod scan;
 
 pub use adaptive::{execute_guarded, guard_points, q_error, ExecStatus, GuardTrip, RowGuard};
 pub use batch::Batch;
+pub use columnar::{column_refs, columnarize, gather_rows, SelVec};
 pub use executor::{execute, execute_analyze, execute_with, try_execute_analyze, try_execute_with};
 pub use metrics::OpMetrics;
 pub use morsel::{ExecOptions, MorselScheduler, StopReason};

@@ -86,6 +86,11 @@ pub struct ExecOptions {
     /// External morsel scheduler (the service's shared worker pool).
     /// When present it replaces per-query `thread::scope` entirely.
     pub scheduler: Option<Arc<dyn MorselScheduler>>,
+    /// Forces the pre-vectorization row-at-a-time kernels for scan,
+    /// filter, project, hash join, and hash aggregation.  Results, costs,
+    /// and metrics are bit-identical to the columnar default; the flag
+    /// exists so differential tests can pin that equivalence.
+    pub row_fallback: bool,
 }
 
 impl std::fmt::Debug for ExecOptions {
@@ -95,6 +100,7 @@ impl std::fmt::Debug for ExecOptions {
             .field("morsel_size", &self.morsel_size)
             .field("token", &self.token.is_some())
             .field("scheduler", &self.scheduler.is_some())
+            .field("row_fallback", &self.row_fallback)
             .finish()
     }
 }
@@ -115,6 +121,7 @@ impl PartialEq for ExecOptions {
             && self.morsel_size == other.morsel_size
             && tokens_match
             && schedulers_match
+            && self.row_fallback == other.row_fallback
     }
 }
 
@@ -127,6 +134,7 @@ impl Default for ExecOptions {
             morsel_size: DEFAULT_MORSEL_SIZE,
             token: None,
             scheduler: None,
+            row_fallback: false,
         }
     }
 }
@@ -161,6 +169,13 @@ impl ExecOptions {
     /// Attaches an external morsel scheduler (shared worker pool).
     pub fn with_scheduler(mut self, scheduler: Arc<dyn MorselScheduler>) -> Self {
         self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Forces the row-at-a-time reference kernels (see
+    /// [`row_fallback`](Self::row_fallback)).
+    pub fn with_row_fallback(mut self, row_fallback: bool) -> Self {
+        self.row_fallback = row_fallback;
         self
     }
 

@@ -1,10 +1,12 @@
 //! Access-path operators: sequential scan, index seek, index
 //! intersection.
 
+use rqo_expr::columnar::{select, Candidates};
 use rqo_expr::Expr;
-use rqo_storage::{Catalog, CostParams, CostTracker, Rid, Table, Value};
+use rqo_storage::{Catalog, ColumnRef, CostParams, CostTracker, Rid, Table, Value};
 
 use crate::batch::Batch;
+use crate::columnar::{gather_rows, SelVec};
 use crate::morsel::{run_morsels, ExecOptions};
 use crate::plan::IndexRange;
 
@@ -67,6 +69,73 @@ pub fn seq_scan_par(
         rows
     })?;
     Some(Batch::from_parts(t.schema().clone(), parts))
+}
+
+/// Vectorized [`seq_scan`]: the predicate runs over the table's typed
+/// column vectors (zero-copy [`ColumnRef`] views), producing a selection
+/// vector that is gathered into rows column-at-a-time.  Charges, row
+/// order, and values are bit-identical to [`seq_scan`].
+pub fn seq_scan_columnar(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    predicate: Option<&Expr>,
+) -> Batch {
+    seq_scan_columnar_inner(catalog, params, tracker, table, predicate, None)
+        .expect("serial scan has no token to interrupt it")
+}
+
+/// Morsel-parallel [`seq_scan_columnar`], bit-identical to
+/// [`seq_scan_par`].  Returns `None` when the query's token fired.
+pub fn seq_scan_columnar_par(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    predicate: Option<&Expr>,
+    opts: &ExecOptions,
+) -> Option<Batch> {
+    seq_scan_columnar_inner(catalog, params, tracker, table, predicate, Some(opts))
+}
+
+fn seq_scan_columnar_inner(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    predicate: Option<&Expr>,
+    opts: Option<&ExecOptions>,
+) -> Option<Batch> {
+    let t = catalog.table(table).expect("table exists");
+    tracker.charge_seq_pages(params.data_pages(t.num_rows(), t.row_width_bytes()));
+    tracker.charge_cpu_ops(t.num_rows() as u64);
+    let bound = predicate.map(|p| p.bind(t.schema()).expect("predicate binds"));
+    let refs: Vec<ColumnRef<'_>> = t.column_refs();
+    // Storage→exec boundary invariant (always on, O(columns)): the
+    // table's column count must match its schema or every ordinal-based
+    // kernel below would misread columns.
+    assert_eq!(
+        refs.len(),
+        t.schema().len(),
+        "table {table} column count diverges from its schema"
+    );
+    let cols: Vec<Option<ColumnRef<'_>>> = refs.iter().copied().map(Some).collect();
+    let n = t.num_rows();
+    let scan_morsel = |morsel: std::ops::Range<usize>| -> Vec<Vec<Value>> {
+        let sel = match &bound {
+            Some(p) => SelVec::new(select(p, &cols, Candidates::Range(morsel.clone())), n),
+            None => SelVec::new((morsel.start as u32..morsel.end as u32).collect(), n),
+        };
+        gather_rows(&refs, &sel)
+    };
+    match opts {
+        None => Some(Batch::new(t.schema().clone(), scan_morsel(0..n))),
+        Some(o) => {
+            let parts = run_morsels(o, n, scan_morsel)?;
+            Some(Batch::from_parts(t.schema().clone(), parts))
+        }
+    }
 }
 
 /// Resolves one index range to its RID list, charging the index descend
@@ -542,6 +611,34 @@ mod tests {
             index_intersection_par(&cat, &params, &mut tp, "t", &ranges, None, &opts).unwrap();
         assert_eq!(par.rows, serial.rows);
         assert_eq!(tp, ts);
+    }
+
+    #[test]
+    fn columnar_scan_is_bit_identical_to_row_scan() {
+        let cat = catalog();
+        let params = CostParams::default();
+        let preds: Vec<Option<Expr>> = vec![
+            None,
+            Some(Expr::col("y").eq(Expr::lit(3i64))),
+            Some(Expr::col("x").between(Expr::lit(100i64), Expr::lit(299i64))),
+            Some(Expr::col("x").lt(Expr::lit(0i64))), // none selected
+        ];
+        for pred in &preds {
+            let mut ts = CostTracker::new();
+            let serial = seq_scan(&cat, &params, &mut ts, "t", pred.as_ref());
+            let mut tc = CostTracker::new();
+            let columnar = seq_scan_columnar(&cat, &params, &mut tc, "t", pred.as_ref());
+            assert_eq!(columnar.rows, serial.rows, "pred={pred:?}");
+            assert_eq!(tc, ts, "pred={pred:?}");
+            for threads in [1, 2, 8] {
+                let opts = ExecOptions::with_threads(threads).with_morsel_size(64);
+                let mut tp = CostTracker::new();
+                let par = seq_scan_columnar_par(&cat, &params, &mut tp, "t", pred.as_ref(), &opts)
+                    .unwrap();
+                assert_eq!(par.rows, serial.rows, "pred={pred:?} threads={threads}");
+                assert_eq!(tp, ts, "pred={pred:?} threads={threads}");
+            }
+        }
     }
 
     #[test]

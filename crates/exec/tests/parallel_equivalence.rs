@@ -24,8 +24,9 @@ use rqo_expr::Expr;
 use rqo_storage::{Catalog, CostParams, DataType, Schema, TableBuilder, Value};
 
 /// Runs the plan serially and at 1/2/8 threads with the given morsel
-/// size, requiring identical rows, identical cost totals, and identical
-/// per-operator metrics trees across thread counts.
+/// size — on both the default columnar path and the `row_fallback`
+/// row-at-a-time path — requiring identical rows, identical cost totals,
+/// and identical per-operator metrics trees across every combination.
 fn assert_equivalent(
     cat: &Catalog,
     plan: &PhysicalPlan,
@@ -34,42 +35,50 @@ fn assert_equivalent(
     let params = CostParams::default();
     let (serial, serial_cost) = execute(plan, cat, &params);
     let mut baseline: Option<OpMetrics> = None;
-    for threads in [1usize, 2, 8] {
-        let opts = ExecOptions::with_threads(threads).with_morsel_size(morsel);
-        let (par, par_cost, metrics) = execute_analyze(plan, cat, &params, &opts);
-        prop_assert_eq!(
-            &par.rows,
-            &serial.rows,
-            "rows diverged: threads={} morsel={} plan_nodes={}",
-            threads,
-            morsel,
-            plan.node_count()
-        );
-        prop_assert_eq!(
-            par_cost,
-            serial_cost,
-            "cost diverged: threads={} morsel={} plan_nodes={}",
-            threads,
-            morsel,
-            plan.node_count()
-        );
-        match &baseline {
-            None => baseline = Some(metrics),
-            Some(base) => {
-                prop_assert_eq!(
-                    metrics.render(),
-                    base.render(),
-                    "rendered metrics diverged: threads={} morsel={}",
-                    threads,
-                    morsel
-                );
-                prop_assert_eq!(
-                    &metrics,
-                    base,
-                    "metrics tree diverged: threads={} morsel={}",
-                    threads,
-                    morsel
-                );
+    for row_fallback in [false, true] {
+        for threads in [1usize, 2, 8] {
+            let opts = ExecOptions::with_threads(threads)
+                .with_morsel_size(morsel)
+                .with_row_fallback(row_fallback);
+            let (par, par_cost, metrics) = execute_analyze(plan, cat, &params, &opts);
+            prop_assert_eq!(
+                &par.rows,
+                &serial.rows,
+                "rows diverged: threads={} morsel={} row_fallback={} plan_nodes={}",
+                threads,
+                morsel,
+                row_fallback,
+                plan.node_count()
+            );
+            prop_assert_eq!(
+                par_cost,
+                serial_cost,
+                "cost diverged: threads={} morsel={} row_fallback={} plan_nodes={}",
+                threads,
+                morsel,
+                row_fallback,
+                plan.node_count()
+            );
+            match &baseline {
+                None => baseline = Some(metrics),
+                Some(base) => {
+                    prop_assert_eq!(
+                        metrics.render(),
+                        base.render(),
+                        "rendered metrics diverged: threads={} morsel={} row_fallback={}",
+                        threads,
+                        morsel,
+                        row_fallback
+                    );
+                    prop_assert_eq!(
+                        &metrics,
+                        base,
+                        "metrics tree diverged: threads={} morsel={} row_fallback={}",
+                        threads,
+                        morsel,
+                        row_fallback
+                    );
+                }
             }
         }
     }

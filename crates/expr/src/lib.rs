@@ -15,9 +15,11 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod eval;
 pub mod like;
 pub mod tree;
 
+pub use columnar::{select, Candidates};
 pub use eval::eval_bool;
 pub use tree::{BinaryOp, Expr, ExprError, UnaryOp};

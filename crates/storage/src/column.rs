@@ -1,0 +1,497 @@
+//! Typed columnar vectors for vectorized execution.
+//!
+//! Storage keeps table data in typed vectors ([`crate::table::ColumnData`]);
+//! this module adds the *execution-side* columnar types: an owned
+//! [`ColumnVec`] (which, unlike stored columns, can carry NULLs and —
+//! via the [`ColumnVec::Mixed`] escape hatch — heterogeneous intermediate
+//! values such as a MIN/MAX output column mixing native `Int` and `Float`
+//! payloads), a borrowed [`ColumnRef`] view unifying stored and
+//! intermediate columns, and a compact [`NullMask`] bitmap.
+//!
+//! Vectorized kernels operate on `ColumnRef`s with *selection vectors*
+//! (ascending row-id lists) instead of materializing filtered rows;
+//! `Value`s are only reconstructed at row-materialization boundaries.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::value::{DataType, Value};
+
+/// Compact validity bitmap: bit `i` set means row `i` is NULL.
+///
+/// Columns without NULLs carry no mask at all (`Option<NullMask>` is
+/// `None`), so the common all-valid case pays nothing per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NullMask {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl NullMask {
+    /// An all-valid mask covering `len` rows.
+    pub fn all_valid(len: usize) -> Self {
+        Self {
+            bits: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Marks row `i` as NULL.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn set_null(&mut self, i: usize) {
+        assert!(
+            i < self.len,
+            "null-mask index {i} out of range {}",
+            self.len
+        );
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// True when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        debug_assert!(
+            i < self.len,
+            "null-mask index {i} out of range {}",
+            self.len
+        );
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// True when any row is NULL.
+    pub fn any_null(&self) -> bool {
+        self.bits.iter().any(|w| *w != 0)
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mask covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// True when `nulls` marks row `i` NULL (no mask means all-valid).
+pub(crate) fn null_at(nulls: Option<&NullMask>, i: usize) -> bool {
+    nulls.is_some_and(|m| m.is_null(i))
+}
+
+/// An owned, typed column of intermediate results.
+///
+/// One vector per column, with an optional null bitmap; string columns
+/// are dictionary-encoded like stored columns.  Columns whose values do
+/// not all match the declared type (possible only for aggregate outputs,
+/// whose schema declares `Float` while MIN/MAX keep the input's native
+/// type) fall back to [`ColumnVec::Mixed`], which preserves each `Value`
+/// exactly.
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    /// 64-bit integers.
+    Int {
+        /// Per-row payloads (arbitrary at NULL positions).
+        values: Vec<i64>,
+        /// Null bitmap; `None` means no NULLs.
+        nulls: Option<NullMask>,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Per-row payloads (arbitrary at NULL positions).
+        values: Vec<f64>,
+        /// Null bitmap; `None` means no NULLs.
+        nulls: Option<NullMask>,
+    },
+    /// Dates as days since epoch.
+    Date {
+        /// Per-row payloads (arbitrary at NULL positions).
+        values: Vec<i32>,
+        /// Null bitmap; `None` means no NULLs.
+        nulls: Option<NullMask>,
+    },
+    /// Dictionary-encoded strings.
+    Str {
+        /// Per-row codes indexing into `dict` (arbitrary at NULL
+        /// positions).
+        codes: Vec<u32>,
+        /// Distinct values.
+        dict: Vec<Arc<str>>,
+        /// Null bitmap; `None` means no NULLs.
+        nulls: Option<NullMask>,
+    },
+    /// Booleans.
+    Bool {
+        /// Per-row payloads (arbitrary at NULL positions).
+        values: Vec<bool>,
+        /// Null bitmap; `None` means no NULLs.
+        nulls: Option<NullMask>,
+    },
+    /// Escape hatch for heterogeneous columns: the values verbatim.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnVec {
+    /// Extracts column `ord` of row-major `rows` into a typed vector.
+    ///
+    /// Values must be the declared type or NULL; anything else (legal
+    /// only in aggregate output columns) produces a [`ColumnVec::Mixed`]
+    /// column that preserves every `Value` bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any row is shorter than `ord + 1`.
+    pub fn from_rows(rows: &[Vec<Value>], ord: usize, dt: DataType) -> ColumnVec {
+        // Single optimistic pass: build the typed vector directly and bail
+        // to `Mixed` on the first off-type value (a pre-scan for
+        // homogeneity would read every row twice, doubling the transpose
+        // cost on the — overwhelmingly common — homogeneous case).
+        let mixed = || ColumnVec::Mixed(rows.iter().map(|r| r[ord].clone()).collect());
+        let mut nulls: Option<NullMask> = None;
+        let mark_null = |nulls: &mut Option<NullMask>, i: usize| {
+            nulls
+                .get_or_insert_with(|| NullMask::all_valid(rows.len()))
+                .set_null(i);
+        };
+        match dt {
+            DataType::Int => {
+                let mut values = Vec::with_capacity(rows.len());
+                for (i, r) in rows.iter().enumerate() {
+                    match &r[ord] {
+                        Value::Int(v) => values.push(*v),
+                        Value::Null => {
+                            mark_null(&mut nulls, i);
+                            values.push(0);
+                        }
+                        _ => return mixed(),
+                    }
+                }
+                ColumnVec::Int { values, nulls }
+            }
+            DataType::Float => {
+                let mut values = Vec::with_capacity(rows.len());
+                for (i, r) in rows.iter().enumerate() {
+                    match &r[ord] {
+                        Value::Float(v) => values.push(*v),
+                        Value::Null => {
+                            mark_null(&mut nulls, i);
+                            values.push(0.0);
+                        }
+                        _ => return mixed(),
+                    }
+                }
+                ColumnVec::Float { values, nulls }
+            }
+            DataType::Date => {
+                let mut values = Vec::with_capacity(rows.len());
+                for (i, r) in rows.iter().enumerate() {
+                    match &r[ord] {
+                        Value::Date(v) => values.push(*v),
+                        Value::Null => {
+                            mark_null(&mut nulls, i);
+                            values.push(0);
+                        }
+                        _ => return mixed(),
+                    }
+                }
+                ColumnVec::Date { values, nulls }
+            }
+            DataType::Str => {
+                let mut codes = Vec::with_capacity(rows.len());
+                let mut dict: Vec<Arc<str>> = Vec::new();
+                let mut lookup: HashMap<Arc<str>, u32> = HashMap::new();
+                for (i, r) in rows.iter().enumerate() {
+                    match &r[ord] {
+                        Value::Str(s) => {
+                            let code = *lookup.entry(Arc::clone(s)).or_insert_with(|| {
+                                dict.push(Arc::clone(s));
+                                (dict.len() - 1) as u32
+                            });
+                            codes.push(code);
+                        }
+                        Value::Null => {
+                            mark_null(&mut nulls, i);
+                            codes.push(0);
+                        }
+                        _ => return mixed(),
+                    }
+                }
+                ColumnVec::Str { codes, dict, nulls }
+            }
+            DataType::Bool => {
+                let mut values = Vec::with_capacity(rows.len());
+                for (i, r) in rows.iter().enumerate() {
+                    match &r[ord] {
+                        Value::Bool(v) => values.push(*v),
+                        Value::Null => {
+                            mark_null(&mut nulls, i);
+                            values.push(false);
+                        }
+                        _ => return mixed(),
+                    }
+                }
+                ColumnVec::Bool { values, nulls }
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Int { values, .. } => values.len(),
+            ColumnVec::Float { values, .. } => values.len(),
+            ColumnVec::Date { values, .. } => values.len(),
+            ColumnVec::Str { codes, .. } => codes.len(),
+            ColumnVec::Bool { values, .. } => values.len(),
+            ColumnVec::Mixed(values) => values.len(),
+        }
+    }
+
+    /// True when the column holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.as_column_ref().is_null(i)
+    }
+
+    /// Materializes the `Value` at row `i` (NULL positions yield
+    /// `Value::Null`; strings are refcount clones).
+    pub fn value(&self, i: usize) -> Value {
+        self.as_column_ref().value(i)
+    }
+
+    /// A borrowed view of this column.
+    pub fn as_column_ref(&self) -> ColumnRef<'_> {
+        match self {
+            ColumnVec::Int { values, nulls } => ColumnRef::Int {
+                values,
+                nulls: nulls.as_ref(),
+            },
+            ColumnVec::Float { values, nulls } => ColumnRef::Float {
+                values,
+                nulls: nulls.as_ref(),
+            },
+            ColumnVec::Date { values, nulls } => ColumnRef::Date {
+                values,
+                nulls: nulls.as_ref(),
+            },
+            ColumnVec::Str { codes, dict, nulls } => ColumnRef::Str {
+                codes,
+                dict,
+                nulls: nulls.as_ref(),
+            },
+            ColumnVec::Bool { values, nulls } => ColumnRef::Bool {
+                values,
+                nulls: nulls.as_ref(),
+            },
+            ColumnVec::Mixed(values) => ColumnRef::Mixed(values),
+        }
+    }
+}
+
+/// A borrowed, typed view of one column — either a stored table column
+/// (zero-copy via [`crate::table::ColumnData::as_column_ref`], never
+/// NULL) or an intermediate [`ColumnVec`].
+///
+/// Vectorized kernels match on the variant once per column and then run
+/// tight loops over the typed slice; [`ColumnRef::value`] is the row
+/// materialization boundary.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnRef<'a> {
+    /// 64-bit integers.
+    Int {
+        /// Per-row payloads.
+        values: &'a [i64],
+        /// Null bitmap; `None` means no NULLs.
+        nulls: Option<&'a NullMask>,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Per-row payloads.
+        values: &'a [f64],
+        /// Null bitmap; `None` means no NULLs.
+        nulls: Option<&'a NullMask>,
+    },
+    /// Dates as days since epoch.
+    Date {
+        /// Per-row payloads.
+        values: &'a [i32],
+        /// Null bitmap; `None` means no NULLs.
+        nulls: Option<&'a NullMask>,
+    },
+    /// Dictionary-encoded strings.
+    Str {
+        /// Per-row codes indexing into `dict`.
+        codes: &'a [u32],
+        /// Distinct values.
+        dict: &'a [Arc<str>],
+        /// Null bitmap; `None` means no NULLs.
+        nulls: Option<&'a NullMask>,
+    },
+    /// Booleans.
+    Bool {
+        /// Per-row payloads.
+        values: &'a [bool],
+        /// Null bitmap; `None` means no NULLs.
+        nulls: Option<&'a NullMask>,
+    },
+    /// Heterogeneous values, verbatim.
+    Mixed(&'a [Value]),
+}
+
+impl ColumnRef<'_> {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnRef::Int { values, .. } => values.len(),
+            ColumnRef::Float { values, .. } => values.len(),
+            ColumnRef::Date { values, .. } => values.len(),
+            ColumnRef::Str { codes, .. } => codes.len(),
+            ColumnRef::Bool { values, .. } => values.len(),
+            ColumnRef::Mixed(values) => values.len(),
+        }
+    }
+
+    /// True when the column holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColumnRef::Int { nulls, .. }
+            | ColumnRef::Float { nulls, .. }
+            | ColumnRef::Date { nulls, .. }
+            | ColumnRef::Str { nulls, .. }
+            | ColumnRef::Bool { nulls, .. } => null_at(*nulls, i),
+            ColumnRef::Mixed(values) => values[i].is_null(),
+        }
+    }
+
+    /// Materializes the `Value` at row `i` (NULL positions yield
+    /// `Value::Null`; strings are refcount clones).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnRef::Int { values, nulls } => {
+                if null_at(*nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Int(values[i])
+                }
+            }
+            ColumnRef::Float { values, nulls } => {
+                if null_at(*nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Float(values[i])
+                }
+            }
+            ColumnRef::Date { values, nulls } => {
+                if null_at(*nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Date(values[i])
+                }
+            }
+            ColumnRef::Str { codes, dict, nulls } => {
+                if null_at(*nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Str(Arc::clone(&dict[codes[i] as usize]))
+                }
+            }
+            ColumnRef::Bool { values, nulls } => {
+                if null_at(*nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Bool(values[i])
+                }
+            }
+            ColumnRef::Mixed(values) => values[i].clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_mask_bits() {
+        let mut m = NullMask::all_valid(130);
+        assert!(!m.any_null());
+        assert_eq!(m.len(), 130);
+        m.set_null(0);
+        m.set_null(64);
+        m.set_null(129);
+        assert!(m.is_null(0) && m.is_null(64) && m.is_null(129));
+        assert!(!m.is_null(1) && !m.is_null(63) && !m.is_null(128));
+        assert!(m.any_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn null_mask_bounds() {
+        NullMask::all_valid(8).set_null(8);
+    }
+
+    #[test]
+    fn from_rows_typed_roundtrip() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(1.5), Value::str("a")],
+            vec![Value::Null, Value::Float(2.5), Value::str("b")],
+            vec![Value::Int(3), Value::Null, Value::str("a")],
+        ];
+        let ints = ColumnVec::from_rows(&rows, 0, DataType::Int);
+        let floats = ColumnVec::from_rows(&rows, 1, DataType::Float);
+        let strs = ColumnVec::from_rows(&rows, 2, DataType::Str);
+        for (col, ord) in [(&ints, 0), (&floats, 1), (&strs, 2)] {
+            assert_eq!(col.len(), 3);
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(col.value(i), row[ord], "col {ord} row {i}");
+                assert_eq!(col.is_null(i), row[ord].is_null());
+            }
+        }
+        match strs {
+            ColumnVec::Str { codes, dict, .. } => {
+                assert_eq!(dict.len(), 2);
+                assert_eq!(codes, vec![0, 1, 0]);
+            }
+            other => panic!("expected Str column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_rows_heterogeneous_falls_back_to_mixed() {
+        // A MIN/MAX output column: declared Float, holds a native Int.
+        let rows = vec![vec![Value::Int(7)], vec![Value::Float(2.5)]];
+        let col = ColumnVec::from_rows(&rows, 0, DataType::Float);
+        match &col {
+            ColumnVec::Mixed(values) => {
+                assert_eq!(values[0], Value::Int(7));
+                assert!(matches!(values[0], Value::Int(7)));
+            }
+            other => panic!("expected Mixed, got {other:?}"),
+        }
+        assert_eq!(col.value(0), Value::Int(7));
+        assert!(matches!(col.value(0), Value::Int(7)), "type preserved");
+    }
+
+    #[test]
+    fn from_rows_all_null() {
+        let rows = vec![vec![Value::Null], vec![Value::Null]];
+        let col = ColumnVec::from_rows(&rows, 0, DataType::Str);
+        assert!(col.is_null(0) && col.is_null(1));
+        assert_eq!(col.value(1), Value::Null);
+    }
+}

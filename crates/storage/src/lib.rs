@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod column;
 pub mod cost;
 pub mod error;
 pub mod index;
@@ -23,6 +24,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{Catalog, ForeignKey, TableId};
+pub use column::{ColumnRef, ColumnVec, NullMask};
 pub use cost::{CostParams, CostTracker};
 pub use error::StorageError;
 pub use index::{SecondaryIndex, UniqueIndex};

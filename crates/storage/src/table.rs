@@ -108,6 +108,35 @@ impl ColumnData {
         }
     }
 
+    /// Zero-copy typed view for vectorized kernels.  Stored columns never
+    /// hold NULL, so the view carries no null mask.
+    pub fn as_column_ref(&self) -> crate::column::ColumnRef<'_> {
+        use crate::column::ColumnRef;
+        match self {
+            ColumnData::Int(v) => ColumnRef::Int {
+                values: v,
+                nulls: None,
+            },
+            ColumnData::Float(v) => ColumnRef::Float {
+                values: v,
+                nulls: None,
+            },
+            ColumnData::Date(v) => ColumnRef::Date {
+                values: v,
+                nulls: None,
+            },
+            ColumnData::Str { codes, dict } => ColumnRef::Str {
+                codes,
+                dict,
+                nulls: None,
+            },
+            ColumnData::Bool(v) => ColumnRef::Bool {
+                values: v,
+                nulls: None,
+            },
+        }
+    }
+
     /// Bytes per value, used by the page model.
     fn value_width(&self) -> usize {
         match self {
@@ -210,6 +239,16 @@ impl Table {
     /// column without materializing `Value`s).
     pub fn column_data(&self, col: usize) -> &ColumnData {
         &self.columns[col]
+    }
+
+    /// Zero-copy typed view of one column for vectorized kernels.
+    pub fn column_ref(&self, col: usize) -> crate::column::ColumnRef<'_> {
+        self.columns[col].as_column_ref()
+    }
+
+    /// Zero-copy typed views of every column, in schema order.
+    pub fn column_refs(&self) -> Vec<crate::column::ColumnRef<'_>> {
+        self.columns.iter().map(ColumnData::as_column_ref).collect()
     }
 }
 

@@ -28,6 +28,17 @@
 //! feedback observed against the *old* data keeps overriding fresh
 //! samples forever (the stale-feedback bug fixed in PR 3).
 //!
+//! The global epoch is the right hammer for a full statistics rebuild,
+//! but a *partial* refresh (one table, or a few partitions of one table)
+//! must not throw away every other table's hard-won observations.  Each
+//! observation therefore remembers which tables it references, and
+//! [`FeedbackStore::advance_table_epoch`] evicts only the observations
+//! touching the refreshed table while bumping that table's own counter.
+//! Consumers that embed an epoch in a fingerprint use
+//! [`FeedbackStore::epoch_for_tables`] — `global + Σ per-table` over the
+//! query's tables — which strictly increases whenever *any* statistics
+//! the query depends on are replaced, and stays put otherwise.
+//!
 //! # Lock poisoning
 //!
 //! The store is shared between recorder threads (executing facades) and
@@ -52,8 +63,27 @@ use rqo_expr::Expr;
 /// (which look up) without threading `&mut` through the optimizer.
 #[derive(Debug, Default)]
 pub struct FeedbackStore {
-    observations: Mutex<HashMap<String, f64>>,
+    inner: Mutex<Inner>,
     epoch: AtomicU64,
+}
+
+/// One recorded observation: the measured selectivity plus the tables the
+/// request referenced (sorted), so a per-table refresh can evict exactly
+/// the observations that depended on the refreshed table.
+#[derive(Debug, Clone)]
+struct Observation {
+    selectivity: f64,
+    tables: Vec<String>,
+}
+
+/// Map state behind one lock: the observations and the per-table epoch
+/// counters.  A single mutex (rather than two) makes
+/// [`FeedbackStore::advance_table_epoch`] atomic — no recorder can slip a
+/// stale observation in between the eviction and the epoch bump.
+#[derive(Debug, Default, Clone)]
+struct Inner {
+    observations: HashMap<String, Observation>,
+    table_epochs: HashMap<String, u64>,
 }
 
 impl FeedbackStore {
@@ -62,13 +92,11 @@ impl FeedbackStore {
         Self::default()
     }
 
-    /// Acquires the observation map, recovering from poisoning: every
+    /// Acquires the inner state, recovering from poisoning: every
     /// individual insert leaves the map consistent, so observations
     /// written before a holder panicked are still valid.
-    fn guard(&self) -> MutexGuard<'_, HashMap<String, f64>> {
-        self.observations
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+    fn guard(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Canonical key for an estimation request: tables sorted, predicates
@@ -95,11 +123,41 @@ impl FeedbackStore {
     /// bulk data change): selectivities observed against the old data
     /// must not override estimates drawn from the new.
     pub fn advance_epoch(&self) -> u64 {
-        let mut map = self.guard();
-        map.clear();
+        let mut inner = self.guard();
+        inner.observations.clear();
         // Bumped while the map lock is held so no recorder can slip a
         // pre-refresh observation into the post-refresh epoch.
         self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Invalidates **only** the observations referencing `table` and bumps
+    /// that table's own epoch counter, returning the new counter value.
+    /// Observations over other tables — and the global epoch — are
+    /// untouched, so a partial statistics refresh keeps the rest of the
+    /// feedback loop warm.
+    pub fn advance_table_epoch(&self, table: &str) -> u64 {
+        let mut inner = self.guard();
+        inner
+            .observations
+            .retain(|_, o| !o.tables.iter().any(|t| t == table));
+        let e = inner.table_epochs.entry(table.to_string()).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// The epoch a consumer should embed for a request over `tables`:
+    /// the global epoch plus the per-table epochs of every listed table.
+    /// Strictly increases when any of those tables' statistics are
+    /// refreshed (partially or fully) and is stable otherwise.  Distinct
+    /// table sets may alias to the same number — harmless for fingerprint
+    /// use, where the canonical query text already distinguishes them.
+    pub fn epoch_for_tables<'a>(&self, tables: impl IntoIterator<Item = &'a str>) -> u64 {
+        let inner = self.guard();
+        self.epoch()
+            + tables
+                .into_iter()
+                .map(|t| inner.table_epochs.get(t).copied().unwrap_or(0))
+                .sum::<u64>()
     }
 
     /// A private copy of this store: same epoch, same observations,
@@ -108,9 +166,9 @@ impl FeedbackStore {
     /// shared store untouched — its tentative observations are published
     /// (replayed onto the shared store) only if the query completes.
     pub fn fork(&self) -> Self {
-        let observations = self.guard().clone();
+        let inner = self.guard().clone();
         Self {
-            observations: Mutex::new(observations),
+            inner: Mutex::new(inner),
             epoch: AtomicU64::new(self.epoch()),
         }
     }
@@ -119,8 +177,12 @@ impl FeedbackStore {
     /// a deterministic, comparable snapshot (the cancellation proptests
     /// assert a cancelled query leaves this byte-identical).
     pub fn snapshot(&self) -> Vec<(String, f64)> {
-        let mut out: Vec<(String, f64)> =
-            self.guard().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut out: Vec<(String, f64)> = self
+            .guard()
+            .observations
+            .iter()
+            .map(|(k, o)| (k.clone(), o.selectivity))
+            .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -137,7 +199,19 @@ impl FeedbackStore {
         selectivity: f64,
     ) -> Option<f64> {
         let key = Self::canonical_key(tables, predicates);
-        self.guard().insert(key, selectivity.clamp(0.0, 1.0))
+        let mut obs_tables: Vec<String> = tables.iter().map(|t| t.to_string()).collect();
+        obs_tables.sort_unstable();
+        obs_tables.dedup();
+        self.guard()
+            .observations
+            .insert(
+                key,
+                Observation {
+                    selectivity: selectivity.clamp(0.0, 1.0),
+                    tables: obs_tables,
+                },
+            )
+            .map(|o| o.selectivity)
     }
 
     /// Seeds an observation that was **not** measured by this system —
@@ -160,12 +234,12 @@ impl FeedbackStore {
     /// Returns the observed selectivity for this request, if any.
     pub fn lookup(&self, tables: &[&str], predicates: &[(&str, &Expr)]) -> Option<f64> {
         let key = Self::canonical_key(tables, predicates);
-        self.guard().get(&key).copied()
+        self.guard().observations.get(&key).map(|o| o.selectivity)
     }
 
     /// Number of recorded observations.
     pub fn len(&self) -> usize {
-        self.guard().len()
+        self.guard().observations.len()
     }
 
     /// True when nothing has been recorded yet.
@@ -175,7 +249,7 @@ impl FeedbackStore {
 
     /// Drops all recorded observations without advancing the epoch.
     pub fn clear(&self) {
-        self.guard().clear();
+        self.guard().observations.clear();
     }
 }
 
@@ -251,6 +325,57 @@ mod tests {
     }
 
     #[test]
+    fn table_epoch_evicts_only_referencing_observations() {
+        let store = FeedbackStore::new();
+        let p = pred("k", 5);
+        store.record(&["t"], &[("t", &p)], 0.1);
+        store.record(&["u"], &[("u", &p)], 0.2);
+        store.record(&["t", "u"], &[("t", &p)], 0.3);
+        store.record(&["v"], &[("v", &p)], 0.4);
+
+        assert_eq!(store.advance_table_epoch("t"), 1);
+        // Both the t-only and the joint t,u observations are gone...
+        assert_eq!(store.lookup(&["t"], &[("t", &p)]), None);
+        assert_eq!(store.lookup(&["t", "u"], &[("t", &p)]), None);
+        // ...while u's and v's survive, and the global epoch is untouched.
+        assert_eq!(store.lookup(&["u"], &[("u", &p)]), Some(0.2));
+        assert_eq!(store.lookup(&["v"], &[("v", &p)]), Some(0.4));
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.advance_table_epoch("t"), 2);
+    }
+
+    #[test]
+    fn epoch_for_tables_moves_with_any_referenced_table() {
+        let store = FeedbackStore::new();
+        assert_eq!(store.epoch_for_tables(["t", "u"]), 0);
+        store.advance_table_epoch("t");
+        assert_eq!(store.epoch_for_tables(["t", "u"]), 1);
+        assert_eq!(store.epoch_for_tables(["t"]), 1);
+        // A query not touching t sees no movement.
+        assert_eq!(store.epoch_for_tables(["u"]), 0);
+        assert_eq!(store.epoch_for_tables(["v", "u"]), 0);
+        // Refreshing u moves the joint epoch again; a global advance moves
+        // everything.
+        store.advance_table_epoch("u");
+        assert_eq!(store.epoch_for_tables(["t", "u"]), 2);
+        store.advance_epoch();
+        assert_eq!(store.epoch_for_tables(["t", "u"]), 3);
+        assert_eq!(store.epoch_for_tables(["v"]), 1);
+    }
+
+    #[test]
+    fn fork_carries_table_epochs() {
+        let store = FeedbackStore::new();
+        store.advance_table_epoch("t");
+        let fork = store.fork();
+        assert_eq!(fork.epoch_for_tables(["t"]), 1);
+        // Diverges after the fork.
+        fork.advance_table_epoch("t");
+        assert_eq!(fork.epoch_for_tables(["t"]), 2);
+        assert_eq!(store.epoch_for_tables(["t"]), 1);
+    }
+
+    #[test]
     fn fork_is_independent_and_snapshot_is_sorted() {
         let store = FeedbackStore::new();
         let p5 = pred("k", 5);
@@ -282,11 +407,11 @@ mod tests {
         // Poison the mutex: panic on a thread that holds the lock.
         let poisoner = Arc::clone(&store);
         let handle = std::thread::spawn(move || {
-            let _guard = poisoner.observations.lock().unwrap();
+            let _guard = poisoner.inner.lock().unwrap();
             panic!("recorder died while holding the feedback lock");
         });
         assert!(handle.join().is_err(), "poisoner thread must panic");
-        assert!(store.observations.lock().is_err(), "mutex is poisoned");
+        assert!(store.inner.lock().is_err(), "mutex is poisoned");
 
         // Every access path recovers instead of cascading the panic.
         assert_eq!(store.lookup(&["t"], &[("t", &p)]), Some(0.25));

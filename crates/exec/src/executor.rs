@@ -19,8 +19,9 @@ use crate::metrics::OpMetrics;
 use crate::morsel::{run_morsels, ExecOptions};
 use crate::plan::PhysicalPlan;
 use crate::scan::{
-    index_intersection_counted, index_seek_counted, seq_scan, seq_scan_columnar,
-    seq_scan_columnar_par, seq_scan_par,
+    index_intersection_counted, index_seek_counted, partitioned_scan, partitioned_scan_columnar,
+    partitioned_scan_columnar_par, partitioned_scan_par, seq_scan, seq_scan_columnar,
+    seq_scan_columnar_par, seq_scan_par, surviving_spans,
 };
 
 /// Why the interpreter unwound before producing the root's result:
@@ -203,6 +204,59 @@ fn run(
                     seq_scan_par(catalog, params, tracker, table, predicate.as_ref(), opts)
                         .ok_or_else(stopped)?
                 }
+            };
+            (batch, n as u64, opts.morsel_count(n), 0, vec![])
+        }
+        PhysicalPlan::PartitionedScan {
+            table,
+            predicate,
+            partitions,
+            ..
+        } => {
+            // Rows consumed are only those in surviving partitions: pruned
+            // partitions are never read, so they appear in neither the cost
+            // charges nor the metrics.
+            let n: usize = surviving_spans(catalog, table, partitions)
+                .iter()
+                .map(|s| s.len())
+                .sum();
+            let batch = match (opts.row_fallback, parallel) {
+                (false, false) => partitioned_scan_columnar(
+                    catalog,
+                    params,
+                    tracker,
+                    table,
+                    predicate.as_ref(),
+                    partitions,
+                ),
+                (false, true) => partitioned_scan_columnar_par(
+                    catalog,
+                    params,
+                    tracker,
+                    table,
+                    predicate.as_ref(),
+                    partitions,
+                    opts,
+                )
+                .ok_or_else(stopped)?,
+                (true, false) => partitioned_scan(
+                    catalog,
+                    params,
+                    tracker,
+                    table,
+                    predicate.as_ref(),
+                    partitions,
+                ),
+                (true, true) => partitioned_scan_par(
+                    catalog,
+                    params,
+                    tracker,
+                    table,
+                    predicate.as_ref(),
+                    partitions,
+                    opts,
+                )
+                .ok_or_else(stopped)?,
             };
             (batch, n as u64, opts.morsel_count(n), 0, vec![])
         }

@@ -62,3 +62,4 @@ pub use executor::{execute, execute_analyze, execute_with, try_execute_analyze, 
 pub use metrics::OpMetrics;
 pub use morsel::{ExecOptions, MorselScheduler, StopReason};
 pub use plan::{AggExpr, AggFunc, IndexRange, PhysicalPlan, PreorderNode, SemiJoinLeg};
+pub use scan::surviving_spans;

@@ -1,6 +1,8 @@
 //! Access-path operators: sequential scan, index seek, index
 //! intersection.
 
+use std::ops::Range;
+
 use rqo_expr::columnar::{select, Candidates};
 use rqo_expr::Expr;
 use rqo_storage::{Catalog, ColumnRef, CostParams, CostTracker, Rid, Table, Value};
@@ -133,6 +135,203 @@ fn seq_scan_columnar_inner(
         None => Some(Batch::new(t.schema().clone(), scan_morsel(0..n))),
         Some(o) => {
             let parts = run_morsels(o, n, scan_morsel)?;
+            Some(Batch::from_parts(t.schema().clone(), parts))
+        }
+    }
+}
+
+/// Partition-wise sequential scan: row-at-a-time serial variant.
+///
+/// See [`partitioned_scan_columnar`] for the cost/determinism contract.
+pub fn partitioned_scan(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    predicate: Option<&Expr>,
+    partitions: &[usize],
+) -> Batch {
+    partitioned_scan_inner(
+        catalog, params, tracker, table, predicate, partitions, None, false,
+    )
+    .expect("serial scan has no token to interrupt it")
+}
+
+/// Morsel-parallel row-at-a-time [`partitioned_scan`].  Returns `None`
+/// when the query's token fired mid-scan.
+pub fn partitioned_scan_par(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    predicate: Option<&Expr>,
+    partitions: &[usize],
+    opts: &ExecOptions,
+) -> Option<Batch> {
+    partitioned_scan_inner(
+        catalog,
+        params,
+        tracker,
+        table,
+        predicate,
+        partitions,
+        Some(opts),
+        false,
+    )
+}
+
+/// Vectorized partition-wise sequential scan over the surviving
+/// partitions of a partitioned table.
+///
+/// Each surviving partition is a contiguous RID span of the canonical
+/// concatenated table.  Charges are computed centrally (selectivity- and
+/// thread-independent): adjacent surviving spans are merged and each
+/// merged run charges its own sequential data pages, plus one CPU op per
+/// surviving row — so a scan listing *every* partition charges exactly
+/// what [`seq_scan_columnar`] charges, and pruning shows up as fewer page
+/// reads.  Morsels are carved from the virtual concatenation of the
+/// surviving spans: boundaries depend only on `morsel_size` and the
+/// surviving row count, never on thread count, which keeps rows, order,
+/// and metrics bit-identical at any parallelism (and bit-identical to the
+/// single-blob scan when nothing is pruned).
+pub fn partitioned_scan_columnar(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    predicate: Option<&Expr>,
+    partitions: &[usize],
+) -> Batch {
+    partitioned_scan_inner(
+        catalog, params, tracker, table, predicate, partitions, None, true,
+    )
+    .expect("serial scan has no token to interrupt it")
+}
+
+/// Morsel-parallel [`partitioned_scan_columnar`].  Returns `None` when
+/// the query's token fired mid-scan.
+pub fn partitioned_scan_columnar_par(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    predicate: Option<&Expr>,
+    partitions: &[usize],
+    opts: &ExecOptions,
+) -> Option<Batch> {
+    partitioned_scan_inner(
+        catalog,
+        params,
+        tracker,
+        table,
+        predicate,
+        partitions,
+        Some(opts),
+        true,
+    )
+}
+
+/// The surviving RID spans of a partitioned table, ascending and with
+/// adjacent spans merged (empty partitions vanish, so runs of surviving
+/// partitions separated only by empty ones still coalesce).  Shared with
+/// the optimizer's cost model so priced and executed page charges agree.
+///
+/// # Panics
+///
+/// Panics when the table has no partition layout, a partition index is
+/// out of range, or the list is not strictly ascending.
+pub fn surviving_spans(catalog: &Catalog, table: &str, partitions: &[usize]) -> Vec<Range<usize>> {
+    let layout = catalog
+        .partitioning(table)
+        .unwrap_or_else(|| panic!("table {table} has no partition layout"));
+    assert!(
+        partitions.windows(2).all(|w| w[0] < w[1]),
+        "partition list must be strictly ascending"
+    );
+    let mut spans: Vec<Range<usize>> = Vec::new();
+    for &p in partitions {
+        let s = layout.span(p);
+        if s.is_empty() {
+            continue;
+        }
+        match spans.last_mut() {
+            Some(prev) if prev.end == s.start => prev.end = s.end,
+            _ => spans.push(s),
+        }
+    }
+    spans
+}
+
+#[allow(clippy::too_many_arguments)]
+fn partitioned_scan_inner(
+    catalog: &Catalog,
+    params: &CostParams,
+    tracker: &mut CostTracker,
+    table: &str,
+    predicate: Option<&Expr>,
+    partitions: &[usize],
+    opts: Option<&ExecOptions>,
+    columnar: bool,
+) -> Option<Batch> {
+    let t = catalog.table(table).expect("table exists");
+    let spans = surviving_spans(catalog, table, partitions);
+    let total: usize = spans.iter().map(Range::len).sum();
+    for s in &spans {
+        tracker.charge_seq_pages(params.data_pages(s.len(), t.row_width_bytes()));
+    }
+    tracker.charge_cpu_ops(total as u64);
+
+    let bound = predicate.map(|p| p.bind(t.schema()).expect("predicate binds"));
+    let refs: Vec<ColumnRef<'_>> = t.column_refs();
+    assert_eq!(
+        refs.len(),
+        t.schema().len(),
+        "table {table} column count diverges from its schema"
+    );
+    let cols: Vec<Option<ColumnRef<'_>>> = refs.iter().copied().map(Some).collect();
+    let n = t.num_rows();
+
+    // Translates a morsel of the virtual concatenation of surviving spans
+    // into actual RID sub-ranges (at most one per span).
+    let to_actual = |vmorsel: Range<usize>| -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        let mut voff = 0usize;
+        for s in &spans {
+            let vstart = voff;
+            let vend = voff + s.len();
+            let lo = vmorsel.start.max(vstart);
+            let hi = vmorsel.end.min(vend);
+            if lo < hi {
+                out.push(s.start + (lo - vstart)..s.start + (hi - vstart));
+            }
+            voff = vend;
+        }
+        out
+    };
+    let scan_morsel = |vmorsel: Range<usize>| -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for actual in to_actual(vmorsel) {
+            if columnar {
+                let sel = match &bound {
+                    Some(p) => SelVec::new(select(p, &cols, Candidates::Range(actual.clone())), n),
+                    None => SelVec::new((actual.start as u32..actual.end as u32).collect(), n),
+                };
+                rows.extend(gather_rows(&refs, &sel));
+            } else {
+                for rid in actual {
+                    let row = t.row(rid as Rid);
+                    if bound.as_ref().is_none_or(|p| rqo_expr::eval_bool(p, &row)) {
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        rows
+    };
+    match opts {
+        None => Some(Batch::new(t.schema().clone(), scan_morsel(0..total))),
+        Some(o) => {
+            let parts = run_morsels(o, total, scan_morsel)?;
             Some(Batch::from_parts(t.schema().clone(), parts))
         }
     }
@@ -449,6 +648,105 @@ mod tests {
         seq_scan(&cat, &params, &mut ta, "t", Some(&narrow));
         seq_scan(&cat, &params, &mut tb, "t", Some(&wide));
         assert_eq!(ta, tb);
+    }
+
+    /// Same 1000 rows as [`catalog`], range-partitioned on `x` at
+    /// 250/500/750 (4 partitions of 250 rows each).  Rows arrive in
+    /// ascending `x` order, so the concatenated table is bit-identical
+    /// to the single-blob one.
+    fn partitioned_catalog() -> Catalog {
+        use rqo_storage::{PartitionSpec, PartitionedTableBuilder};
+        let spec = PartitionSpec::Range {
+            column: "x".into(),
+            bounds: vec![Value::Int(250), Value::Int(500), Value::Int(750)],
+        };
+        let mut b = PartitionedTableBuilder::new(
+            "t",
+            Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]),
+            spec,
+        );
+        for i in 0..1000i64 {
+            b.push_row(&[Value::Int(i), Value::Int(i % 10)]);
+        }
+        let (table, layout) = b.finish();
+        let mut cat = Catalog::new();
+        cat.add_partitioned_table(table, layout).unwrap();
+        cat
+    }
+
+    #[test]
+    fn partitioned_all_parts_is_bit_identical_to_seq_scan() {
+        let single = catalog();
+        let parted = partitioned_catalog();
+        let params = CostParams::default();
+        let all = [0usize, 1, 2, 3];
+        let pred = Expr::col("y").eq(Expr::lit(3i64));
+        for pred in [None, Some(&pred)] {
+            // Serial, both row and columnar paths.
+            let mut ts = CostTracker::new();
+            let reference = seq_scan(&single, &params, &mut ts, "t", pred);
+            let mut tp = CostTracker::new();
+            let rows = partitioned_scan(&parted, &params, &mut tp, "t", pred, &all);
+            assert_eq!(rows.rows, reference.rows);
+            assert_eq!(tp, ts);
+            let mut tc = CostTracker::new();
+            let cols = partitioned_scan_columnar(&parted, &params, &mut tc, "t", pred, &all);
+            assert_eq!(cols.rows, reference.rows);
+            assert_eq!(tc, ts);
+            // Parallel at several thread counts: same rows, same charges.
+            for threads in [1usize, 2, 8] {
+                let opts = ExecOptions::with_threads(threads).with_morsel_size(64);
+                let mut t1 = CostTracker::new();
+                let b1 = partitioned_scan_par(&parted, &params, &mut t1, "t", pred, &all, &opts)
+                    .unwrap();
+                assert_eq!(b1.rows, reference.rows, "row par threads={threads}");
+                assert_eq!(t1, ts, "row par threads={threads}");
+                let mut t2 = CostTracker::new();
+                let b2 = partitioned_scan_columnar_par(
+                    &parted, &params, &mut t2, "t", pred, &all, &opts,
+                )
+                .unwrap();
+                assert_eq!(b2.rows, reference.rows, "columnar par threads={threads}");
+                assert_eq!(t2, ts, "columnar par threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_scan_reads_only_surviving_partitions() {
+        let parted = partitioned_catalog();
+        let params = CostParams::default();
+        let w = parted.table("t").unwrap().row_width_bytes();
+        let pred = Expr::col("x").between(Expr::lit(250i64), Expr::lit(499i64));
+        // Only partition 1 can match: pages and CPU charged for 250 rows.
+        let mut tracker = CostTracker::new();
+        let batch =
+            partitioned_scan_columnar(&parted, &params, &mut tracker, "t", Some(&pred), &[1]);
+        assert_eq!(batch.len(), 250);
+        assert_eq!(tracker.cpu_ops, 250);
+        assert_eq!(tracker.seq_pages, params.data_pages(250, w));
+        // Rows come back in table order.
+        assert_eq!(batch.rows[0][0], Value::Int(250));
+        assert_eq!(batch.rows[249][0], Value::Int(499));
+    }
+
+    #[test]
+    fn adjacent_surviving_partitions_merge_into_one_page_run() {
+        let parted = partitioned_catalog();
+        let params = CostParams::default();
+        let w = parted.table("t").unwrap().row_width_bytes();
+        // Partitions 1 and 2 are adjacent: one merged 500-row page run,
+        // not two 250-row runs (which could round up to more pages).
+        let mut tracker = CostTracker::new();
+        partitioned_scan_columnar(&parted, &params, &mut tracker, "t", None, &[1, 2]);
+        assert_eq!(tracker.seq_pages, params.data_pages(500, w));
+        // Non-adjacent survivors charge per run.
+        let mut gap = CostTracker::new();
+        partitioned_scan_columnar(&parted, &params, &mut gap, "t", None, &[0, 2]);
+        assert_eq!(
+            gap.seq_pages,
+            params.data_pages(250, w) + params.data_pages(250, w)
+        );
     }
 
     #[test]

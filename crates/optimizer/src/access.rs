@@ -17,6 +17,7 @@ use rqo_exec::{IndexRange, PhysicalPlan};
 use rqo_expr::Expr;
 
 use crate::enumerate::{Candidate, PlanContext};
+use crate::prune::pruned_partitions;
 
 /// Generates access-path candidates for one table.
 pub fn access_paths(
@@ -31,15 +32,37 @@ pub fn access_paths(
     };
     let sorted_by = ctx.clustered_column(table);
 
-    let mut candidates = vec![Candidate {
-        plan: PhysicalPlan::SeqScan {
-            table: table.to_string(),
-            predicate: predicate.cloned(),
+    // A partitioned table's full-scan candidate is a partition-wise scan
+    // with statically pruned partitions; pruning is conservative, so the
+    // output rows are the full scan's and only the cost shrinks.  An
+    // unpartitioned table keeps the classic sequential scan.
+    let scan = match ctx.catalog.partitioning(table) {
+        Some(layout) => {
+            let partitions = pruned_partitions(layout, predicate);
+            let cost_ms = ctx.model.partitioned_scan_ms(table, &partitions);
+            Candidate {
+                plan: PhysicalPlan::PartitionedScan {
+                    table: table.to_string(),
+                    predicate: predicate.cloned(),
+                    partitions,
+                    total_partitions: layout.partition_count(),
+                },
+                cost_ms,
+                out_rows,
+                sorted_by: sorted_by.clone(),
+            }
+        }
+        None => Candidate {
+            plan: PhysicalPlan::SeqScan {
+                table: table.to_string(),
+                predicate: predicate.cloned(),
+            },
+            cost_ms: ctx.model.seq_scan_ms(table),
+            out_rows,
+            sorted_by: sorted_by.clone(),
         },
-        cost_ms: ctx.model.seq_scan_ms(table),
-        out_rows,
-        sorted_by: sorted_by.clone(),
-    }];
+    };
+    let mut candidates = vec![scan];
 
     let Some(predicate) = predicate else {
         return candidates;

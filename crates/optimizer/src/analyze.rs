@@ -125,7 +125,13 @@ fn derive_spec(
             .expect("children derived before parents in reverse pre-order")
     };
     match node.plan {
-        PhysicalPlan::SeqScan { table, predicate } => Spec {
+        // Partition pruning is semantically transparent — a pruned scan
+        // returns the same rows as the full scan — so both derive the
+        // same spec.
+        PhysicalPlan::SeqScan { table, predicate }
+        | PhysicalPlan::PartitionedScan {
+            table, predicate, ..
+        } => Spec {
             tables: vec![table.clone()],
             predicates: predicate
                 .iter()

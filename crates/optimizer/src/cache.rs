@@ -176,6 +176,10 @@ struct CacheEntry {
     /// Feedback canonical key → estimated selectivity (`est_rows /
     /// root_rows`) for every annotated node with predicates.
     priced_at: HashMap<String, f64>,
+    /// Every base table the plan reads (union of its annotations' table
+    /// lists, sorted), so a per-table statistics refresh can evict
+    /// exactly the plans whose pricing depended on the refreshed table.
+    tables: Vec<String>,
 }
 
 #[derive(Default)]
@@ -272,7 +276,13 @@ impl PlanCache {
         planned: Arc<PlannedQuery>,
     ) -> Arc<PlannedQuery> {
         let mut priced_at = HashMap::new();
+        let mut entry_tables: Vec<String> = Vec::new();
         for ann in planned.node_annotations.iter().flatten() {
+            for t in &ann.tables {
+                if !entry_tables.contains(t) {
+                    entry_tables.push(t.clone());
+                }
+            }
             if ann.predicates.is_empty() || ann.root_rows <= 0.0 {
                 continue;
             }
@@ -285,6 +295,7 @@ impl PlanCache {
             let key = rqo_core::FeedbackStore::canonical_key(&tables, &predicates);
             priced_at.insert(key, (ann.est_rows / ann.root_rows).clamp(0.0, 1.0));
         }
+        entry_tables.sort_unstable();
 
         let mut inner = self.write();
         // Replacing an entry must drop its old reverse-index edges first,
@@ -304,6 +315,7 @@ impl PlanCache {
             CacheEntry {
                 planned: Arc::clone(&planned),
                 priced_at,
+                tables: entry_tables,
             },
         );
         planned
@@ -357,6 +369,57 @@ impl PlanCache {
         self.epoch_invalidations
             .fetch_add(stale.len() as u64, Ordering::Relaxed);
         stale.len()
+    }
+
+    /// Drops every cached plan that reads `table` (counted under
+    /// `epoch_invalidations`), returning how many were dropped.  Plans
+    /// over other tables stay warm — this is the partial-refresh
+    /// counterpart of [`invalidate_epochs_before`]
+    /// (Self::invalidate_epochs_before): a per-table statistics refresh
+    /// makes only the refreshed table's plans stale, and the per-table
+    /// epoch inside new fingerprints already keeps them from being hit
+    /// again, so the eager drop here is pure housekeeping.
+    pub fn invalidate_table(&self, table: &str) -> usize {
+        let mut inner = self.write();
+        let stale: Vec<PlanFingerprint> = inner
+            .plans
+            .iter()
+            .filter(|(_, e)| e.tables.iter().any(|t| t == table))
+            .map(|(fp, _)| fp.clone())
+            .collect();
+        for fp in &stale {
+            if let Some(entry) = inner.plans.remove(fp) {
+                unindex(&mut inner, fp, &entry);
+            }
+        }
+        self.epoch_invalidations
+            .fetch_add(stale.len() as u64, Ordering::Relaxed);
+        stale.len()
+    }
+
+    /// An empty cache with a different drift bound that **carries this
+    /// cache's lifetime counters forward**.  Entries are dropped — their
+    /// keep/evict decisions were made under the old bound and would be
+    /// wrong under the new one — and counted as epoch invalidations, but
+    /// the hit/miss/eviction history survives, so reconfiguring the bound
+    /// mid-session no longer silently zeroes the cache's observability.
+    pub fn rebuilt_with_drift_bound(&self, drift_bound: f64) -> Self {
+        let fresh = Self::new(drift_bound);
+        fresh
+            .hits
+            .store(self.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+        fresh
+            .misses
+            .store(self.misses.load(Ordering::Relaxed), Ordering::Relaxed);
+        fresh.drift_evictions.store(
+            self.drift_evictions.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        fresh.epoch_invalidations.store(
+            self.epoch_invalidations.load(Ordering::Relaxed) + self.len() as u64,
+            Ordering::Relaxed,
+        );
+        fresh
     }
 
     /// Drops every entry (counted under `epoch_invalidations`).
@@ -594,6 +657,46 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().epoch_invalidations, 2);
+    }
+
+    #[test]
+    fn invalidate_table_drops_only_plans_reading_it() {
+        let cache = PlanCache::default();
+        let qt = query("t", 10);
+        let qu = query("u", 10);
+        let fpt = PlanFingerprint::of(&qt, threshold(), 0);
+        let fpu = PlanFingerprint::of(&qu, threshold(), 0);
+        cache.insert(fpt.clone(), planned(&qt, 10.0, 100.0));
+        cache.insert(fpu.clone(), planned(&qu, 10.0, 100.0));
+        assert_eq!(cache.invalidate_table("t"), 1);
+        assert!(!cache.contains(&fpt), "t's plan is gone");
+        assert!(cache.contains(&fpu), "u's plan survives");
+        assert_eq!(cache.stats().epoch_invalidations, 1);
+        // Unknown table: no-op.
+        assert_eq!(cache.invalidate_table("nope"), 0);
+        // The dropped plan's reverse-index edges went with it.
+        assert!(cache.observe(&key_of(&qt), 0.9).is_empty());
+    }
+
+    #[test]
+    fn rebuilt_with_drift_bound_carries_counters() {
+        let cache = PlanCache::default();
+        let q = query("t", 10);
+        let fp = PlanFingerprint::of(&q, threshold(), 0);
+        assert!(cache.get(&fp).is_none()); // one miss
+        cache.insert(fp.clone(), planned(&q, 10.0, 100.0));
+        cache.get(&fp).expect("hit"); // one hit
+        cache.observe(&key_of(&q), 0.9); // one drift eviction
+        cache.insert(fp.clone(), planned(&q, 10.0, 100.0));
+
+        let rebuilt = cache.rebuilt_with_drift_bound(5.0);
+        assert_eq!(rebuilt.drift_bound(), 5.0);
+        assert!(rebuilt.is_empty(), "entries do not survive a bound change");
+        let stats = rebuilt.stats();
+        // History carried forward; the dropped entry is accounted for.
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.drift_evictions, 1);
+        assert_eq!(stats.epoch_invalidations, 1);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod cache;
 pub mod cost;
 pub mod enumerate;
 pub mod planner;
+pub mod prune;
 pub mod query;
 pub mod replan;
 pub mod selection;
@@ -41,6 +42,7 @@ pub use analyze::{annotate_plan, NodeAnnotation, NodeAnnotations};
 pub use cache::{CacheStats, PlanCache, PlanFingerprint, DEFAULT_DRIFT_BOUND};
 pub use cost::CostModel;
 pub use planner::{detect_sorted_columns, Optimizer, PlannedQuery};
+pub use prune::pruned_partitions;
 pub use query::Query;
 pub use replan::MaterializedFragment;
 pub use selection::{

@@ -1,0 +1,180 @@
+//! Partition pruning: which partitions of a partitioned table can a
+//! predicate possibly match?
+//!
+//! Pruning is a pure, conservative static analysis over the catalog's
+//! partition layout — it may keep a partition that turns out to hold no
+//! qualifying rows, but it must never drop one that does, because the
+//! executor applies the (full) predicate only to the partitions listed in
+//! the plan.  Two sources of evidence are used:
+//!
+//! * **Per-partition min/max** of the partitioning column, maintained by
+//!   the loader.  Any range-shaped conjunct on that column excludes the
+//!   partitions whose `[min, max]` interval cannot intersect the
+//!   conjunct's range.  This works for both range and hash partitioning
+//!   (a hash partition's min/max is still a sound summary of what landed
+//!   in it).
+//! * **Hash routing** for point equality: under hash partitioning,
+//!   `key = v` can only find rows in the bucket `v` routes to.
+//!
+//! Empty partitions are always pruned; they contribute no rows and no
+//! page charges either way, so dropping them is free and keeps the
+//! surviving count honest in `EXPLAIN`.
+
+use std::ops::Bound;
+
+use rqo_expr::Expr;
+use rqo_storage::{PartitionSpec, Partitioning, Value};
+
+/// The ascending list of partitions a scan with `predicate` must read.
+/// `None` (no predicate) keeps every non-empty partition.
+pub fn pruned_partitions(layout: &Partitioning, predicate: Option<&Expr>) -> Vec<usize> {
+    let key_col = layout.spec().column();
+    let mut survivors: Vec<usize> = (0..layout.partition_count())
+        .filter(|&p| layout.min_max(p).is_some())
+        .collect();
+    let Some(predicate) = predicate else {
+        return survivors;
+    };
+    for c in predicate.conjuncts() {
+        let Some((col, lo, hi)) = c.as_column_range() else {
+            continue;
+        };
+        if col != key_col {
+            continue;
+        }
+        survivors.retain(|&p| {
+            let (pmin, pmax) = layout.min_max(p).expect("empty partitions pruned above");
+            lo_allows(&lo, pmax) && hi_allows(&hi, pmin)
+        });
+        // Point equality under hash partitioning: only the routed bucket
+        // can hold the key.
+        if let (Bound::Included(a), Bound::Included(b)) = (&lo, &hi) {
+            if a == b && matches!(layout.spec(), PartitionSpec::Hash { .. }) {
+                let target = layout.spec().route(a);
+                survivors.retain(|&p| p == target);
+            }
+        }
+    }
+    survivors
+}
+
+/// True when a partition whose maximum key is `pmax` can contain a value
+/// satisfying the lower bound `lo`.
+fn lo_allows(lo: &Bound<Value>, pmax: &Value) -> bool {
+    match lo {
+        Bound::Unbounded => true,
+        Bound::Included(v) => pmax.total_cmp(v).is_ge(),
+        Bound::Excluded(v) => pmax.total_cmp(v).is_gt(),
+    }
+}
+
+/// True when a partition whose minimum key is `pmin` can contain a value
+/// satisfying the upper bound `hi`.
+fn hi_allows(hi: &Bound<Value>, pmin: &Value) -> bool {
+    match hi {
+        Bound::Unbounded => true,
+        Bound::Included(v) => pmin.total_cmp(v).is_le(),
+        Bound::Excluded(v) => pmin.total_cmp(v).is_lt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqo_storage::{DataType, PartitionedTableBuilder, Schema};
+
+    /// 0..400 range-partitioned on `x` at 100/200/300.
+    fn range_layout() -> Partitioning {
+        let spec = PartitionSpec::Range {
+            column: "x".into(),
+            bounds: vec![Value::Int(100), Value::Int(200), Value::Int(300)],
+        };
+        let mut b =
+            PartitionedTableBuilder::new("t", Schema::from_pairs(&[("x", DataType::Int)]), spec);
+        for i in 0..400i64 {
+            b.push_row(&[Value::Int(i)]);
+        }
+        b.finish().1
+    }
+
+    /// 0..400 hash-partitioned on `x` into 4 buckets.
+    fn hash_layout() -> Partitioning {
+        let spec = PartitionSpec::Hash {
+            column: "x".into(),
+            partitions: 4,
+        };
+        let mut b =
+            PartitionedTableBuilder::new("t", Schema::from_pairs(&[("x", DataType::Int)]), spec);
+        for i in 0..400i64 {
+            b.push_row(&[Value::Int(i)]);
+        }
+        b.finish().1
+    }
+
+    #[test]
+    fn no_predicate_keeps_all_nonempty() {
+        let layout = range_layout();
+        assert_eq!(pruned_partitions(&layout, None), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn range_conjunct_prunes_by_bounds() {
+        let layout = range_layout();
+        let p = Expr::col("x").between(Expr::lit(150i64), Expr::lit(250i64));
+        assert_eq!(pruned_partitions(&layout, Some(&p)), vec![1, 2]);
+        let p = Expr::col("x").lt(Expr::lit(100i64));
+        assert_eq!(pruned_partitions(&layout, Some(&p)), vec![0]);
+        // Boundary exactness: x < 101 needs partition 1 (it holds 100..200);
+        // x <= 99 does not.
+        let p = Expr::col("x").lt(Expr::lit(101i64));
+        assert_eq!(pruned_partitions(&layout, Some(&p)), vec![0, 1]);
+        let p = Expr::col("x").le(Expr::lit(99i64));
+        assert_eq!(pruned_partitions(&layout, Some(&p)), vec![0]);
+        // Impossible range: everything pruned.
+        let p = Expr::col("x").gt(Expr::lit(999i64));
+        assert!(pruned_partitions(&layout, Some(&p)).is_empty());
+    }
+
+    #[test]
+    fn conjunction_intersects_and_other_columns_ignored() {
+        let layout = range_layout();
+        let p = Expr::col("x")
+            .ge(Expr::lit(150i64))
+            .and(Expr::col("y").lt(Expr::lit(5i64)))
+            .and(Expr::col("x").lt(Expr::lit(220i64)));
+        assert_eq!(pruned_partitions(&layout, Some(&p)), vec![1, 2]);
+        // A predicate only on other columns prunes nothing.
+        let p = Expr::col("y").lt(Expr::lit(5i64));
+        assert_eq!(pruned_partitions(&layout, Some(&p)), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hash_equality_routes_to_one_bucket() {
+        let layout = hash_layout();
+        let p = Expr::col("x").eq(Expr::lit(42i64));
+        let survivors = pruned_partitions(&layout, Some(&p));
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0], layout.spec().route(&Value::Int(42)));
+        // A hash layout cannot prune on ranges beyond min/max evidence:
+        // a wide range keeps every bucket.
+        let p = Expr::col("x").ge(Expr::lit(0i64));
+        assert_eq!(pruned_partitions(&layout, Some(&p)).len(), 4);
+    }
+
+    #[test]
+    fn empty_partitions_always_pruned() {
+        // Rows only in 0..100: partitions 1..4 of the range layout are
+        // empty and never survive.
+        let spec = PartitionSpec::Range {
+            column: "x".into(),
+            bounds: vec![Value::Int(100), Value::Int(200), Value::Int(300)],
+        };
+        let mut b =
+            PartitionedTableBuilder::new("t", Schema::from_pairs(&[("x", DataType::Int)]), spec);
+        for i in 0..50i64 {
+            b.push_row(&[Value::Int(i)]);
+        }
+        let layout = b.finish().1;
+        assert_eq!(pruned_partitions(&layout, None), vec![0]);
+    }
+}

@@ -179,6 +179,31 @@ fn price(ctx: &PlanContext<'_>, query: &Query, plan: &PhysicalPlan) -> Priced {
                 sorted_by: ctx.clustered_column(table),
             }
         }
+        PhysicalPlan::PartitionedScan {
+            table,
+            predicate,
+            partitions,
+            ..
+        } => {
+            // Pruning is semantically transparent (pruned partitions hold
+            // no qualifying rows), so output cardinality is the same as a
+            // full scan's; only the cost shrinks with the survivors.
+            let (out_rows, preds) = match predicate {
+                Some(p) => {
+                    let preds = vec![(table.clone(), p.clone())];
+                    (spec_rows(ctx, std::slice::from_ref(table), &preds), preds)
+                }
+                None => (ctx.model.partition_rows(table, partitions), Vec::new()),
+            };
+            Priced {
+                cost_ms: ctx.model.partitioned_scan_ms(table, partitions),
+                out_rows,
+                join_rows: out_rows,
+                tables: vec![table.clone()],
+                preds,
+                sorted_by: ctx.clustered_column(table),
+            }
+        }
         PhysicalPlan::IndexSeek { table, range, .. } => {
             let pred = query
                 .predicate_for(table)

@@ -281,9 +281,12 @@ impl Engine {
     }
 
     /// Replaces the plan cache with an empty one using `bound` as its
-    /// drift bound.
+    /// drift bound.  The cache's lifetime counters (hits, misses,
+    /// drift evictions) carry forward — changing a tuning knob should
+    /// not zero the operator's statistics; the dropped entries are
+    /// counted as epoch invalidations.
     pub fn set_drift_bound(&mut self, bound: f64) {
-        self.plan_cache = Arc::new(PlanCache::new(bound));
+        self.plan_cache = Arc::new(self.plan_cache.rebuilt_with_drift_bound(bound));
     }
 
     /// Re-draws the precomputed samples (the `UPDATE STATISTICS`
@@ -300,8 +303,34 @@ impl Engine {
         self.plan_cache.invalidate_epochs_before(epoch);
     }
 
-    /// The current statistics epoch: 0 at construction, bumped by every
-    /// [`refresh_statistics`](Self::refresh_statistics).
+    /// Incremental `UPDATE STATISTICS`: re-samples one table — and, for a
+    /// partitioned table with a non-empty `partitions` list, only the
+    /// named partitions — leaving every other table's statistics
+    /// byte-for-byte untouched.
+    ///
+    /// Invalidation is scoped to match: the refreshed table's *per-table*
+    /// feedback epoch advances (evicting exactly the observations that
+    /// reference it) and only the cached plans reading it are dropped.
+    /// Other tables' feedback, learned posteriors, and warm plans
+    /// survive — the whole point of refreshing incrementally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `table` is not in the catalog's synopsis set or a
+    /// partition index is out of range, mirroring
+    /// [`SynopsisRepository::refresh_table`].
+    pub fn refresh_statistics_partial(&mut self, table: &str, partitions: &[usize], seed: u64) {
+        let mut synopses = SynopsisRepository::clone(&self.synopses);
+        synopses.refresh_table(&self.catalog, table, partitions, seed);
+        self.synopses = Arc::new(synopses);
+        self.feedback.advance_table_epoch(table);
+        self.plan_cache.invalidate_table(table);
+    }
+
+    /// The current global statistics epoch: 0 at construction, bumped by
+    /// every full [`refresh_statistics`](Self::refresh_statistics).
+    /// Partial refreshes advance per-table epochs instead; fingerprints
+    /// combine both via [`FeedbackStore::epoch_for_tables`].
     pub fn stats_epoch(&self) -> u64 {
         self.feedback.epoch()
     }
@@ -355,9 +384,15 @@ impl Engine {
     }
 
     /// The fingerprint under which this engine would cache a query's
-    /// plan right now.
+    /// plan right now.  The epoch component combines the global epoch
+    /// with the per-table epochs of the query's tables, so a partial
+    /// statistics refresh retires exactly the fingerprints that read the
+    /// refreshed table and leaves every other query's warm entry valid.
     pub fn fingerprint(&self, query: &Query) -> PlanFingerprint {
-        PlanFingerprint::of_with(query, self.threshold, self.feedback.epoch(), self.selection)
+        let epoch = self
+            .feedback
+            .epoch_for_tables(query.tables.iter().map(String::as_str));
+        PlanFingerprint::of_with(query, self.threshold, epoch, self.selection)
     }
 
     /// Optimizes a query through the shared plan cache: a hit returns

@@ -1,0 +1,209 @@
+//! Incremental statistics refresh at the engine level: the regression
+//! tests for the headline bug.  `refresh_statistics_partial` used to be
+//! impossible to express — the only refresh advanced the *global*
+//! statistics epoch, wiping every table's feedback observations and
+//! retiring every cached plan's fingerprint, even for queries that never
+//! touch the refreshed table.  These tests pin the scoped behavior:
+//!
+//! * feedback observations referencing other tables survive a partial
+//!   refresh byte-for-byte;
+//! * warm plan-cache entries for other tables keep hitting;
+//! * plans and observations that *do* read the refreshed table are
+//!   retired, exactly as a full refresh would have retired them;
+//! * `set_drift_bound` carries the cache's lifetime counters forward
+//!   instead of zeroing the operator's statistics.
+
+use rqo_datagen::workload::{exp1_lineitem_predicate, exp2_part_predicate};
+use rqo_datagen::{TpchConfig, TpchData};
+use rqo_exec::AggExpr;
+use rqo_optimizer::Query;
+use rqo_service::Engine;
+use rqo_storage::{Catalog, PartitionSpec, PartitionedTableBuilder, TableBuilder, Value};
+
+/// A small TPC-H catalog with `part` range-partitioned four ways on
+/// `p_partkey`; `orders` and `lineitem` stay single-blob.  Row order is
+/// identical to the flat catalog (partition keys ascend), so plans and
+/// results are comparable across the two layouts.
+fn partitioned_catalog() -> Catalog {
+    let flat = TpchData::generate(&TpchConfig {
+        scale_factor: 0.001,
+        seed: 7,
+    })
+    .into_catalog();
+    let part = flat.table("part").unwrap();
+    let n = part.num_rows() as i64;
+    let bounds: Vec<Value> = (1..4).map(|i| part.value((i * n / 4) as u32, 0)).collect();
+    let spec = PartitionSpec::Range {
+        column: part.schema().column(0).name.clone(),
+        bounds,
+    };
+    let mut b = PartitionedTableBuilder::new("part", part.schema().clone(), spec);
+    for rid in 0..part.num_rows() as u32 {
+        b.push_row(&part.row(rid));
+    }
+    let (table, layout) = b.finish();
+    let mut cat = Catalog::new();
+    cat.add_partitioned_table(table, layout).unwrap();
+    for name in ["orders", "lineitem"] {
+        let t = flat.table(name).unwrap();
+        let mut tb = TableBuilder::new(name, t.schema().clone(), t.num_rows());
+        for rid in 0..t.num_rows() as u32 {
+            tb.push_row(&t.row(rid));
+        }
+        cat.add_table(tb.finish()).unwrap();
+    }
+    for fk in flat.foreign_keys() {
+        cat.add_foreign_key(&fk.from_table, &fk.from_column, &fk.to_table, &fk.to_column)
+            .unwrap();
+    }
+    cat
+}
+
+fn lineitem_query() -> Query {
+    Query::over(&["lineitem"])
+        .filter("lineitem", exp1_lineitem_predicate(30))
+        .aggregate(AggExpr::count_star("n"))
+}
+
+fn part_query() -> Query {
+    Query::over(&["part"])
+        .filter("part", exp2_part_predicate(160))
+        .aggregate(AggExpr::count_star("n"))
+}
+
+fn join_query() -> Query {
+    Query::over(&["lineitem", "part"])
+        .filter("part", exp2_part_predicate(170))
+        .aggregate(AggExpr::count_star("n"))
+}
+
+#[test]
+fn partial_refresh_preserves_other_tables_feedback_and_plans() {
+    let mut e = Engine::new(partitioned_catalog());
+    let opts = e.query_exec_options(None, None);
+    let li = lineitem_query();
+    let pq = part_query();
+    let jq = join_query();
+
+    // Warm everything: feedback observations and cached plans for a
+    // lineitem-only query, a part-only query, and a join reading both.
+    e.explain_analyze_opts(&li, &opts).unwrap();
+    let lineitem_only = e.feedback().snapshot();
+    assert!(
+        !lineitem_only.is_empty(),
+        "the lineitem query must record feedback for the test to mean anything"
+    );
+    e.explain_analyze_opts(&pq, &opts).unwrap();
+    e.explain_analyze_opts(&jq, &opts).unwrap();
+    assert!(e.feedback().len() > lineitem_only.len());
+
+    let fp_li = e.fingerprint(&li);
+    let fp_part = e.fingerprint(&pq);
+    let fp_join = e.fingerprint(&jq);
+    assert!(e.plan_cache().contains(&fp_li));
+    assert!(e.plan_cache().contains(&fp_part));
+    assert!(e.plan_cache().contains(&fp_join));
+
+    // Refresh one partition of `part`.  Scoped invalidation: only
+    // part-referencing state is retired.
+    e.refresh_statistics_partial("part", &[1], 0xBEEF);
+
+    // Feedback: exactly the part-referencing observations are gone — the
+    // survivor set is byte-identical to the post-lineitem snapshot.
+    assert_eq!(e.feedback().snapshot(), lineitem_only);
+    assert_eq!(
+        e.stats_epoch(),
+        0,
+        "partial refresh must not bump the global epoch"
+    );
+
+    // Plans: the lineitem entry is still warm under its old fingerprint;
+    // the part and join entries are dropped and their fingerprints moved.
+    assert!(e.plan_cache().contains(&fp_li));
+    assert!(!e.plan_cache().contains(&fp_part));
+    assert!(!e.plan_cache().contains(&fp_join));
+    assert_ne!(e.fingerprint(&pq), fp_part);
+    assert_ne!(e.fingerprint(&jq), fp_join);
+    assert_eq!(e.fingerprint(&li), fp_li);
+
+    // And the warm entry actually hits.
+    let hits_before = e.cache_stats().hits;
+    e.run_opts(&li, &opts).unwrap();
+    assert_eq!(e.cache_stats().hits, hits_before + 1);
+
+    // The refreshed table replans cleanly and returns the same rows: the
+    // sample changed, the data did not.
+    let before = e.run_opts(&pq, &opts).unwrap().rows;
+    let again = e.run_opts(&pq, &opts).unwrap().rows;
+    assert_eq!(before, again);
+}
+
+#[test]
+fn partial_refresh_on_unpartitioned_table_is_scoped_too() {
+    let mut e = Engine::new(partitioned_catalog());
+    let opts = e.query_exec_options(None, None);
+    let li = lineitem_query();
+    let pq = part_query();
+    e.explain_analyze_opts(&li, &opts).unwrap();
+    e.explain_analyze_opts(&pq, &opts).unwrap();
+    let fp_li = e.fingerprint(&li);
+    let fp_part = e.fingerprint(&pq);
+
+    // Empty partition list on a single-blob table: whole-table resample,
+    // still scoped to that table.
+    e.refresh_statistics_partial("lineitem", &[], 0xF00D);
+    assert!(!e.plan_cache().contains(&fp_li));
+    assert!(e.plan_cache().contains(&fp_part));
+    assert_ne!(e.fingerprint(&li), fp_li);
+    assert_eq!(e.fingerprint(&pq), fp_part);
+}
+
+#[test]
+fn full_refresh_still_invalidates_globally() {
+    let mut e = Engine::new(partitioned_catalog());
+    let opts = e.query_exec_options(None, None);
+    let li = lineitem_query();
+    let pq = part_query();
+    e.explain_analyze_opts(&li, &opts).unwrap();
+    e.explain_analyze_opts(&pq, &opts).unwrap();
+    let fp_li = e.fingerprint(&li);
+    let fp_part = e.fingerprint(&pq);
+
+    e.refresh_statistics(0xD1CE);
+    assert!(e.feedback().is_empty());
+    assert_eq!(e.stats_epoch(), 1);
+    assert_ne!(e.fingerprint(&li), fp_li);
+    assert_ne!(e.fingerprint(&pq), fp_part);
+}
+
+#[test]
+fn set_drift_bound_carries_cache_stats_forward() {
+    let mut e = Engine::new(partitioned_catalog());
+    let opts = e.query_exec_options(None, None);
+    let li = lineitem_query();
+    // One miss (planned + cached after execution), then two hits.
+    e.run_opts(&li, &opts).unwrap();
+    e.run_opts(&li, &opts).unwrap();
+    e.run_opts(&li, &opts).unwrap();
+    let before = e.cache_stats();
+    assert!(before.hits >= 2);
+    assert_eq!(before.entries, 1);
+
+    e.set_drift_bound(2.5);
+
+    let after = e.cache_stats();
+    assert_eq!(after.hits, before.hits, "hits must survive the knob change");
+    assert_eq!(after.misses, before.misses);
+    assert_eq!(after.drift_evictions, before.drift_evictions);
+    assert_eq!(
+        after.epoch_invalidations,
+        before.epoch_invalidations + before.entries as u64,
+        "dropped entries are accounted, not vanished"
+    );
+    assert_eq!(after.entries, 0);
+
+    // The next run replans (the old entry is gone) and re-warms.
+    e.run_opts(&li, &opts).unwrap();
+    assert_eq!(e.cache_stats().misses, before.misses + 1);
+    assert_eq!(e.cache_stats().entries, 1);
+}

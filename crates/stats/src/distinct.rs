@@ -38,13 +38,19 @@ fn frequency_profile(sample: &[Value]) -> (usize, HashMap<u64, u64>) {
 /// The GEE distinct-value estimate for a size-`n` sample from a
 /// population of `population_size` rows.
 ///
-/// Returns 0 for an empty sample.  The estimate is clamped to
-/// `[d, population_size]` where `d` is the number of distinct values seen,
-/// since the truth can be neither smaller than what was observed nor larger
-/// than the population.
+/// Returns 0 only for an empty *population*.  An empty sample from a
+/// non-empty population floors at 1: any non-empty table has at least one
+/// group, and a 0 estimate poisons downstream division (a grouped
+/// aggregate priced over 0 groups costs nothing, so every plan above it
+/// ties at zero).  The estimate is clamped to `[d, population_size]` where
+/// `d` is the number of distinct values seen, since the truth can be
+/// neither smaller than what was observed nor larger than the population.
 pub fn gee_estimate(sample: &[Value], population_size: u64) -> f64 {
-    if sample.is_empty() || population_size == 0 {
+    if population_size == 0 {
         return 0.0;
+    }
+    if sample.is_empty() {
+        return 1.0;
     }
     let n = sample.len() as f64;
     let (d, fof) = frequency_profile(sample);
@@ -60,10 +66,15 @@ pub fn gee_estimate(sample: &[Value], population_size: u64) -> f64 {
 
 /// The first-order jackknife distinct-value estimate.
 ///
-/// Returns 0 for an empty sample; clamped like [`gee_estimate`].
+/// Floors at 1 for an empty sample from a non-empty population, returns 0
+/// only when the population itself is empty; clamped like
+/// [`gee_estimate`].
 pub fn jackknife_estimate(sample: &[Value], population_size: u64) -> f64 {
-    if sample.is_empty() || population_size == 0 {
+    if population_size == 0 {
         return 0.0;
+    }
+    if sample.is_empty() {
+        return 1.0;
     }
     let n = sample.len() as f64;
     let big_n = population_size as f64;
@@ -91,9 +102,21 @@ mod tests {
     }
 
     #[test]
-    fn empty_sample() {
-        assert_eq!(gee_estimate(&[], 100), 0.0);
-        assert_eq!(jackknife_estimate(&[], 100), 0.0);
+    fn empty_population_estimates_zero() {
+        assert_eq!(gee_estimate(&[], 0), 0.0);
+        assert_eq!(jackknife_estimate(&[], 0), 0.0);
+        assert_eq!(gee_estimate(&sample_of(&[1]), 0), 0.0);
+    }
+
+    /// Regression: an empty sample drawn from a *non-empty* table used to
+    /// estimate 0.0 distinct values, which made every grouped-aggregate
+    /// plan above it price at zero groups.  A non-empty population has at
+    /// least one group, so the estimators must floor at 1.
+    #[test]
+    fn empty_sample_from_nonempty_population_floors_at_one() {
+        assert_eq!(gee_estimate(&[], 100), 1.0);
+        assert_eq!(jackknife_estimate(&[], 100), 1.0);
+        assert_eq!(gee_estimate(&[], 1), 1.0);
     }
 
     #[test]

@@ -27,5 +27,7 @@ pub mod sampler;
 pub mod synopsis;
 
 pub use histogram::EquiDepthHistogram;
-pub use sampler::{sample_with_replacement, sample_without_replacement};
+pub use sampler::{
+    sample_with_replacement, sample_without_replacement, sample_without_replacement_sorted,
+};
 pub use synopsis::{JoinSynopsis, SynopsisRepository};

@@ -10,10 +10,12 @@
 //! can be estimated by directly evaluating the predicate on the synopsis —
 //! one sample, no AVI assumption, no error propagation across subresults.
 
+use std::ops::Range;
+
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rqo_expr::Expr;
-use rqo_storage::{Catalog, Table, TableBuilder};
+use rqo_storage::{Catalog, Rid, Table, TableBuilder};
 
 use crate::sampler::sample_with_replacement;
 
@@ -44,11 +46,75 @@ impl JoinSynopsis {
         let mut rng = StdRng::seed_from_u64(seed);
         let root_table = catalog.table(root).expect("root table exists");
         let rids = sample_with_replacement(root_table, sample_size, &mut rng);
+        Self::from_root_rids(catalog, root, &rids)
+    }
+
+    /// Builds a synopsis whose root sample is drawn (with replacement)
+    /// from one partition's row span only — the unit of incremental
+    /// statistics refresh.  Per-partition synopses for the same root are
+    /// concatenated with [`JoinSynopsis::merge`] into the table-level
+    /// synopsis the estimator consumes; rebuilding one partition's piece
+    /// and re-merging refreshes that partition's contribution without
+    /// touching the others.
+    pub fn build_for_partition(
+        catalog: &Catalog,
+        root: &str,
+        span: Range<usize>,
+        sample_size: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rids: Vec<Rid> = if span.is_empty() {
+            Vec::new()
+        } else {
+            (0..sample_size)
+                .map(|_| rng.gen_range(span.start as Rid..span.end as Rid))
+                .collect()
+        };
+        Self::from_root_rids(catalog, root, &rids)
+    }
+
+    /// Concatenates per-partition pieces (in partition order) into one
+    /// synopsis.  Every piece shares the same FK closure — it is derived
+    /// from the catalog's FK graph, not from the sampled rows — so the
+    /// merge is a component-wise row concatenation.  Proportionally
+    /// allocated piece sizes make the result a stratified uniform sample
+    /// of the root.
+    pub fn merge(root: &str, pieces: &[JoinSynopsis]) -> Self {
+        let first = pieces.first().expect("at least one piece to merge");
+        let components = first
+            .components
+            .iter()
+            .enumerate()
+            .map(|(c, (name, table))| {
+                let total: usize = pieces.iter().map(|p| p.components[c].1.num_rows()).sum();
+                let mut b = TableBuilder::new(name, table.schema().clone(), total);
+                for piece in pieces {
+                    let (pname, ptable) = &piece.components[c];
+                    assert_eq!(pname, name, "pieces share one FK closure");
+                    for i in 0..ptable.num_rows() as u32 {
+                        b.push_row(&ptable.row(i));
+                    }
+                }
+                (name.clone(), b.finish())
+            })
+            .collect::<Vec<_>>();
+        Self {
+            root: root.to_string(),
+            sample_size: components[0].1.num_rows(),
+            components,
+        }
+    }
+
+    /// The FK-closure construction shared by all build paths: joins each
+    /// sampled root row with the full referenced relations.
+    fn from_root_rids(catalog: &Catalog, root: &str, rids: &[Rid]) -> Self {
+        let root_table = catalog.table(root).expect("root table exists");
 
         // Root component.
         let mut components: Vec<(String, Table)> = Vec::new();
         let mut b = TableBuilder::new(root, root_table.schema().clone(), rids.len());
-        for &rid in &rids {
+        for &rid in rids {
             b.push_row(&root_table.row(rid));
         }
         components.push((root.to_string(), b.finish()));
@@ -188,28 +254,149 @@ impl JoinSynopsis {
 }
 
 /// All join synopses for a catalog, one per relation.
+///
+/// Partitioned roots are sampled **per partition** (stratified, sample
+/// budget allocated proportionally to partition row counts) and the pieces
+/// kept alongside their merged table-level synopsis; the estimator only
+/// ever sees the merged one, but [`SynopsisRepository::refresh_table`] can
+/// rebuild a subset of a root's pieces and re-merge without re-sampling
+/// the rest.
 #[derive(Debug, Clone)]
 pub struct SynopsisRepository {
     synopses: Vec<JoinSynopsis>,
+    /// Per-partition pieces for partitioned roots, `(root, pieces)` with
+    /// pieces aligned to the catalog's partition layout.
+    pieces: Vec<(String, Vec<JoinSynopsis>)>,
+    sample_size: usize,
+}
+
+/// Splits `sample_size` across partitions proportionally to their row
+/// counts, assigning leftovers by largest fractional remainder (ties to
+/// the lower partition index).  Deterministic; empty partitions get zero.
+fn allocate_samples(sample_size: usize, lens: &[usize]) -> Vec<usize> {
+    let total: usize = lens.iter().sum();
+    if total == 0 {
+        return vec![0; lens.len()];
+    }
+    let mut quotas: Vec<usize> = lens
+        .iter()
+        .map(|&l| sample_size * l / total) // floor of the exact share
+        .collect();
+    let assigned: usize = quotas.iter().sum();
+    // Largest-remainder: rank partitions by sample_size*l mod total.
+    let mut order: Vec<usize> = (0..lens.len()).collect();
+    order.sort_by_key(|&p| (std::cmp::Reverse(sample_size * lens[p] % total), p));
+    for &p in order.iter().take(sample_size - assigned) {
+        quotas[p] += 1;
+    }
+    quotas
+}
+
+/// The deterministic sub-seed for partition `p` of a root whose own
+/// sub-seed is `root_seed`.
+fn partition_seed(root_seed: u64, p: usize) -> u64 {
+    root_seed ^ ((p as u64 + 1) << 16)
 }
 
 impl SynopsisRepository {
     /// Builds one synopsis per registered table.  Each synopsis gets a
-    /// distinct deterministic sub-seed derived from `seed`.
+    /// distinct deterministic sub-seed derived from `seed`; partitioned
+    /// tables are built piece-per-partition and merged.
     pub fn build_all(catalog: &Catalog, sample_size: usize, seed: u64) -> Self {
-        let synopses = catalog
-            .tables()
-            .enumerate()
-            .map(|(i, t)| {
-                JoinSynopsis::build(
-                    catalog,
-                    t.name(),
-                    sample_size,
-                    seed ^ ((i as u64 + 1) << 32),
-                )
-            })
-            .collect();
-        Self { synopses }
+        let mut synopses = Vec::new();
+        let mut pieces = Vec::new();
+        for (i, t) in catalog.tables().enumerate() {
+            let root_seed = seed ^ ((i as u64 + 1) << 32);
+            match catalog.partitioning(t.name()) {
+                Some(layout) => {
+                    let root_pieces =
+                        build_pieces(catalog, t.name(), layout.spans(), sample_size, root_seed);
+                    synopses.push(JoinSynopsis::merge(t.name(), &root_pieces));
+                    pieces.push((t.name().to_string(), root_pieces));
+                }
+                None => {
+                    synopses.push(JoinSynopsis::build(
+                        catalog,
+                        t.name(),
+                        sample_size,
+                        root_seed,
+                    ));
+                }
+            }
+        }
+        Self {
+            synopses,
+            pieces,
+            sample_size,
+        }
+    }
+
+    /// Rebuilds the statistics of one table — and **only** that table.
+    ///
+    /// For a partitioned root with a non-empty `partitions` list, only the
+    /// named partitions' pieces are re-sampled (under `seed`) and the
+    /// table-level synopsis re-merged; the other partitions' pieces are
+    /// byte-for-byte untouched.  For an unpartitioned root, or an empty
+    /// `partitions` list, the whole root synopsis is rebuilt.  Synopses
+    /// rooted at *other* tables are never touched: their component rows
+    /// for this table are joined through immutable FK edges from their own
+    /// root samples, so they stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `root` has no synopsis, or when a named partition index
+    /// is out of range for the root's layout.
+    pub fn refresh_table(
+        &mut self,
+        catalog: &Catalog,
+        root: &str,
+        partitions: &[usize],
+        seed: u64,
+    ) {
+        let slot = self
+            .synopses
+            .iter()
+            .position(|s| s.root() == root)
+            .unwrap_or_else(|| panic!("no synopsis rooted at {root:?}"));
+        match catalog.partitioning(root) {
+            Some(layout) => {
+                let spans = layout.spans();
+                let quotas = allocate_samples(self.sample_size, &span_lens(spans));
+                let root_pieces = &mut self
+                    .pieces
+                    .iter_mut()
+                    .find(|(r, _)| r == root)
+                    .expect("partitioned root has pieces")
+                    .1;
+                let targets: Vec<usize> = if partitions.is_empty() {
+                    (0..spans.len()).collect()
+                } else {
+                    partitions.to_vec()
+                };
+                for &p in &targets {
+                    assert!(p < spans.len(), "partition {p} out of range for {root:?}");
+                    root_pieces[p] = JoinSynopsis::build_for_partition(
+                        catalog,
+                        root,
+                        spans[p].clone(),
+                        quotas[p],
+                        partition_seed(seed, p),
+                    );
+                }
+                self.synopses[slot] = JoinSynopsis::merge(root, root_pieces);
+            }
+            None => {
+                self.synopses[slot] = JoinSynopsis::build(catalog, root, self.sample_size, seed);
+            }
+        }
+    }
+
+    /// The per-partition pieces of a partitioned root (testing/inspection).
+    pub fn pieces_for(&self, root: &str) -> Option<&[JoinSynopsis]> {
+        self.pieces
+            .iter()
+            .find(|(r, _)| r == root)
+            .map(|(_, p)| p.as_slice())
     }
 
     /// The synopsis rooted at a table.
@@ -242,6 +429,36 @@ impl SynopsisRepository {
     pub fn stored_bytes(&self) -> usize {
         self.synopses.iter().map(JoinSynopsis::stored_bytes).sum()
     }
+}
+
+/// Partition span lengths, in partition order.
+fn span_lens(spans: &[Range<usize>]) -> Vec<usize> {
+    spans.iter().map(Range::len).collect()
+}
+
+/// One synopsis piece per partition of `root`, with the sample budget
+/// split proportionally across partitions.
+fn build_pieces(
+    catalog: &Catalog,
+    root: &str,
+    spans: &[Range<usize>],
+    sample_size: usize,
+    root_seed: u64,
+) -> Vec<JoinSynopsis> {
+    let quotas = allocate_samples(sample_size, &span_lens(spans));
+    spans
+        .iter()
+        .enumerate()
+        .map(|(p, span)| {
+            JoinSynopsis::build_for_partition(
+                catalog,
+                root,
+                span.clone(),
+                quotas[p],
+                partition_seed(root_seed, p),
+            )
+        })
+        .collect()
 }
 
 /// Finds the root relation of an FK-join expression: the unique listed
@@ -397,6 +614,129 @@ mod tests {
         );
         assert_eq!(find_root(&cat, &["orders"]), Some("orders"));
         assert_eq!(find_root(&cat, &["orders", "part"]), None);
+    }
+
+    #[test]
+    fn allocate_samples_proportional_and_exact() {
+        // Proportional with largest-remainder leftovers; sums exactly.
+        assert_eq!(allocate_samples(100, &[500, 300, 200]), vec![50, 30, 20]);
+        let q = allocate_samples(100, &[333, 333, 334]);
+        assert_eq!(q.iter().sum::<usize>(), 100);
+        assert!(q.iter().all(|&x| (33..=34).contains(&x)), "{q:?}");
+        // Empty partitions get nothing; empty table gets all zeros.
+        assert_eq!(allocate_samples(10, &[0, 100, 0]), vec![0, 10, 0]);
+        assert_eq!(allocate_samples(10, &[0, 0]), vec![0, 0]);
+        // Deterministic tie-break: equal remainders go to lower indexes.
+        assert_eq!(allocate_samples(3, &[1, 1]), allocate_samples(3, &[1, 1]));
+    }
+
+    /// A range-partitioned copy of the TPC-H `part` table (4 partitions on
+    /// `p_partkey`) plus `lineitem`/`orders` unpartitioned.
+    fn partitioned_tpch_catalog() -> Catalog {
+        use rqo_storage::{PartitionSpec, PartitionedTableBuilder, Value};
+        let flat = tpch_catalog();
+        let part = flat.table("part").unwrap();
+        let n = part.num_rows() as i64;
+        let bounds: Vec<Value> = (1..4).map(|i| part.value((i * n / 4) as u32, 0)).collect();
+        let spec = PartitionSpec::Range {
+            column: part.schema().column(0).name.clone(),
+            bounds,
+        };
+        let mut b = PartitionedTableBuilder::new("part", part.schema().clone(), spec);
+        for rid in 0..part.num_rows() as u32 {
+            b.push_row(&part.row(rid));
+        }
+        let (table, layout) = b.finish();
+        let mut cat = Catalog::new();
+        cat.add_partitioned_table(table, layout).unwrap();
+        for name in ["orders", "lineitem"] {
+            let t = flat.table(name).unwrap();
+            let mut tb = TableBuilder::new(name, t.schema().clone(), t.num_rows());
+            for rid in 0..t.num_rows() as u32 {
+                tb.push_row(&t.row(rid));
+            }
+            cat.add_table(tb.finish()).unwrap();
+        }
+        for fk in flat.foreign_keys() {
+            cat.add_foreign_key(&fk.from_table, &fk.from_column, &fk.to_table, &fk.to_column)
+                .unwrap();
+        }
+        cat
+    }
+
+    #[test]
+    fn partitioned_root_builds_pieces_and_merges() {
+        let cat = partitioned_tpch_catalog();
+        let repo = SynopsisRepository::build_all(&cat, 200, 11);
+        let pieces = repo.pieces_for("part").expect("part is partitioned");
+        assert_eq!(pieces.len(), 4);
+        let total: usize = pieces.iter().map(JoinSynopsis::sample_size).sum();
+        assert_eq!(total, 200, "proportional allocation sums to the budget");
+        let merged = repo.for_root("part").unwrap();
+        assert_eq!(merged.sample_size(), 200);
+        // Each piece samples only rows inside its span: partition rid
+        // ranges translate to key ranges under range partitioning.
+        let layout = cat.partitioning("part").unwrap();
+        let part = cat.table("part").unwrap();
+        for (p, piece) in pieces.iter().enumerate() {
+            let span = layout.span(p);
+            let lo = part.value(span.start as u32, 0).as_int();
+            let hi = part.value(span.end as u32 - 1, 0).as_int();
+            let c = piece.component("part").unwrap();
+            for i in 0..c.num_rows() as u32 {
+                let k = c.value(i, 0).as_int();
+                assert!((lo..=hi).contains(&k), "piece {p} leaked key {k}");
+            }
+        }
+        // Unpartitioned roots have no pieces.
+        assert!(repo.pieces_for("lineitem").is_none());
+    }
+
+    #[test]
+    fn partial_refresh_touches_only_named_partitions() {
+        let cat = partitioned_tpch_catalog();
+        let mut repo = SynopsisRepository::build_all(&cat, 200, 11);
+        let before: Vec<JoinSynopsis> = repo.pieces_for("part").unwrap().to_vec();
+        let lineitem_before = repo.for_root("lineitem").unwrap().clone();
+        repo.refresh_table(&cat, "part", &[1, 3], 999);
+        let after = repo.pieces_for("part").unwrap();
+        let rows = |s: &JoinSynopsis| -> Vec<Vec<rqo_storage::Value>> {
+            let c = s.component("part").unwrap();
+            (0..c.num_rows() as u32).map(|i| c.row(i)).collect()
+        };
+        // Untouched partitions keep their exact sample rows.
+        assert_eq!(rows(&before[0]), rows(&after[0]));
+        assert_eq!(rows(&before[2]), rows(&after[2]));
+        // Refreshed partitions were re-sampled under the new seed (same
+        // size, same span, different draws).
+        assert_eq!(before[1].sample_size(), after[1].sample_size());
+        assert_ne!(rows(&before[1]), rows(&after[1]));
+        // The merged synopsis reflects the refresh and keeps its size.
+        assert_eq!(repo.for_root("part").unwrap().sample_size(), 200);
+        // Other roots are untouched.
+        let li = repo.for_root("lineitem").unwrap();
+        assert_eq!(
+            rows_of(li, "lineitem"),
+            rows_of(&lineitem_before, "lineitem")
+        );
+    }
+
+    fn rows_of(s: &JoinSynopsis, table: &str) -> Vec<Vec<rqo_storage::Value>> {
+        let c = s.component(table).unwrap();
+        (0..c.num_rows() as u32).map(|i| c.row(i)).collect()
+    }
+
+    #[test]
+    fn refresh_unpartitioned_root_rebuilds_whole_synopsis() {
+        let cat = tpch_catalog();
+        let mut repo = SynopsisRepository::build_all(&cat, 150, 5);
+        let before = rows_of(repo.for_root("orders").unwrap(), "orders");
+        let part_before = rows_of(repo.for_root("part").unwrap(), "part");
+        repo.refresh_table(&cat, "orders", &[], 777);
+        assert_ne!(rows_of(repo.for_root("orders").unwrap(), "orders"), before);
+        assert_eq!(repo.for_root("orders").unwrap().sample_size(), 150);
+        // Other roots untouched.
+        assert_eq!(rows_of(repo.for_root("part").unwrap(), "part"), part_before);
     }
 
     #[test]

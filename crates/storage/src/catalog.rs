@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crate::error::StorageError;
 use crate::index::{SecondaryIndex, UniqueIndex};
+use crate::partition::Partitioning;
 use crate::table::Table;
 
 /// Opaque identifier of a registered table (its registration order).
@@ -41,6 +42,7 @@ pub struct Catalog {
     foreign_keys: Vec<ForeignKey>,
     secondary: HashMap<(String, String), Arc<SecondaryIndex>>,
     unique: HashMap<(String, String), Arc<UniqueIndex>>,
+    partitions: HashMap<String, Arc<Partitioning>>,
 }
 
 impl Catalog {
@@ -58,6 +60,48 @@ impl Catalog {
         self.by_name.insert(table.name().to_string(), id);
         self.tables.push(Arc::new(table));
         Ok(id)
+    }
+
+    /// Registers a partitioned table: the canonical concatenated [`Table`]
+    /// (typically from
+    /// [`PartitionedTableBuilder::finish`](crate::partition::PartitionedTableBuilder::finish))
+    /// together with its partition layout.  The table behaves exactly like
+    /// an unpartitioned one through the read API; the layout is extra
+    /// metadata consumed by the executor, optimizer, and statistics
+    /// layers.
+    pub fn add_partitioned_table(
+        &mut self,
+        table: Table,
+        partitioning: Partitioning,
+    ) -> Result<TableId, StorageError> {
+        if table
+            .schema()
+            .index_of(partitioning.spec().column())
+            .is_none()
+        {
+            return Err(StorageError::UnknownColumn {
+                table: table.name().to_string(),
+                column: partitioning.spec().column().to_string(),
+            });
+        }
+        let covered = partitioning.spans().last().map_or(0, |s| s.end);
+        if covered != table.num_rows() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "partition spans cover {covered} rows but table {:?} has {}",
+                table.name(),
+                table.num_rows()
+            )));
+        }
+        let name = table.name().to_string();
+        let id = self.add_table(table)?;
+        self.partitions.insert(name, Arc::new(partitioning));
+        Ok(id)
+    }
+
+    /// The partition layout of a table, or `None` for unpartitioned
+    /// tables.
+    pub fn partitioning(&self, name: &str) -> Option<&Arc<Partitioning>> {
+        self.partitions.get(name)
     }
 
     /// Looks up a table by name.
@@ -306,6 +350,47 @@ mod tests {
         let mut cat2 = Catalog::new();
         cat2.add_table(make_table("a", &[1], Some(&[1]))).unwrap();
         assert!(cat2.add_foreign_key("a", "fk", "a", "pk").is_err());
+    }
+
+    #[test]
+    fn partitioned_table_registration() {
+        use crate::partition::{PartitionSpec, PartitionedTableBuilder};
+        let mut cat = Catalog::new();
+        let mut b = PartitionedTableBuilder::new(
+            "pt",
+            Schema::from_pairs(&[("pk", DataType::Int)]),
+            PartitionSpec::Range {
+                column: "pk".into(),
+                bounds: vec![Value::Int(2)],
+            },
+        );
+        for k in [0i64, 1, 2, 3] {
+            b.push_row(&[Value::Int(k)]);
+        }
+        let (t, p) = b.finish();
+        cat.add_partitioned_table(t, p).unwrap();
+        // Reads work through the plain table API...
+        assert_eq!(cat.table("pt").unwrap().num_rows(), 4);
+        // ...and the layout is visible as metadata.
+        let layout = cat.partitioning("pt").expect("layout registered");
+        assert_eq!(layout.spans(), &[0..2, 2..4]);
+        assert!(cat.partitioning("parent").is_none());
+    }
+
+    #[test]
+    // A one-span layout is the point of the test, not a `vec![start..end]` typo.
+    #[allow(clippy::single_range_in_vec_init)]
+    fn partitioned_registration_rejects_bad_spans() {
+        use crate::partition::{PartitionSpec, Partitioning};
+        let mut cat = Catalog::new();
+        let spec = PartitionSpec::Hash {
+            column: "pk".into(),
+            partitions: 1,
+        };
+        // Span covers 2 rows, table has 3.
+        let layout = Partitioning::new(spec, vec![0..2], vec![None]);
+        let err = cat.add_partitioned_table(make_table("t", &[1, 2, 3], None), layout);
+        assert!(matches!(err, Err(StorageError::SchemaMismatch(_))));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use robust_qo::prelude::*;
@@ -160,8 +160,13 @@ fn run_config(
                         }
                     }
                 }
-                latencies.lock().unwrap().extend(local_lat);
-                *mismatch_count.lock().unwrap() += local_bad;
+                latencies
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .extend(local_lat);
+                *mismatch_count
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) += local_bad;
             });
         }
     });
@@ -182,13 +187,17 @@ fn run_config(
         Err(ServiceError::Stopped(StopReason::DeadlineExceeded))
     ));
 
-    let mut sorted = latencies.into_inner().unwrap();
+    let mut sorted = latencies
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     sorted.sort_unstable();
     let stats = service.stats();
     let total = clients * rounds * queries.len();
 
     // Self-checks: nothing lost, nothing corrupted, every slot returned.
-    let mismatches = *mismatch_count.lock().unwrap();
+    let mismatches = *mismatch_count
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
     assert_eq!(sorted.len(), total, "lost or duplicated query executions");
     assert_eq!(mismatches, 0, "corrupted rows under concurrency");
     assert!(stats.slots_balanced(), "execution slots leaked: {stats}");

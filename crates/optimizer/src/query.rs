@@ -20,7 +20,7 @@ use rqo_expr::Expr;
 /// to them fails at execution; qualified output references are future
 /// work — per-table *predicates* are unaffected, since they bind against
 /// their own table's schema before the join.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// Tables referenced by the query.
     pub tables: Vec<String>,

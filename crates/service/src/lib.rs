@@ -27,11 +27,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod net;
 pub mod pool;
+pub mod proto;
 pub mod service;
 
 pub use engine::{AdaptiveOutcome, AnalyzedOutcome, Engine, QueryOutcome, ReplanEvent};
+pub use net::{ClientError, NetClient, NetServer, NetServerConfig, NetStats, QueryReply};
 pub use pool::WorkerPool;
+pub use proto::{ErrorCode, ProtoError, Request, Response, RunMode};
 pub use service::{QueryHandle, QueryService, ServiceError, ServiceStats, Session};
 
 pub use rqo_core::{QueryToken, ServiceConfig, StopReason};

@@ -1,0 +1,854 @@
+//! The network front-end: [`NetServer`] serves the wire protocol of
+//! [`proto`](crate::proto) over TCP, multiplexing connections onto one
+//! shared [`QueryService`].
+//!
+//! # Connection lifecycle
+//!
+//! ```text
+//!             accept            TAG_HELLO?          TAG_RUN ...
+//! client ───► acceptor ───► [reader thread] ──mpsc──► [executor thread]
+//!   │           │ (over limit: Error frame,             │ tenant quota
+//!   │           │  close)                               │ validate vs catalog
+//!   │           │                                       │ QueryService::run*
+//!   │    EOF / io error                                 ▼
+//!   └──────► reader cancels the in-flight     Batch* · Done | Error
+//!            QueryToken and signals EOF          (written back)
+//! ```
+//!
+//! Each connection gets **two** threads: a *reader* that blocks on
+//! frame reads and an *executor* that runs queries and writes
+//! responses.  The split is what makes disconnect propagation work
+//! with blocking I/O: while the executor is deep inside a query, the
+//! reader is parked on `read()`, so the moment the client goes away
+//! (EOF or reset) the reader cancels the in-flight [`QueryToken`] and
+//! the query stops at its next morsel boundary — with the engine's
+//! usual no-trace hygiene (nothing published to plan cache or
+//! feedback).
+//!
+//! Malformed bytes never panic the server and never leak an execution
+//! slot: frames are decoded defensively ([`ProtoError`]), the peer gets
+//! one typed [`ErrorCode::Protocol`] reply, and the connection closes.
+//! Per-tenant admission quotas ([`NetServerConfig::tenant_quota`])
+//! bound each tenant's in-flight queries *before* the service's global
+//! slot/queue machinery, so one bad tenant cannot occupy every slot.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rqo_core::{QueryToken, StopReason};
+use rqo_optimizer::Query;
+use rqo_storage::Value;
+
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, FrameReadError, ProtoError, Request, Response, RunMode,
+    DEFAULT_BATCH_ROWS,
+};
+use crate::service::{QueryHandle, QueryService, ServiceError};
+
+/// Configuration for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Maximum simultaneously open connections; excess connections get
+    /// an [`ErrorCode::ConnectionLimit`] frame and are closed.
+    pub max_connections: usize,
+    /// Per-tenant in-flight query cap (`None` = unlimited).  Applied
+    /// before global admission so one tenant cannot monopolize slots.
+    pub tenant_quota: Option<usize>,
+    /// Rows per [`Response::Batch`] frame when streaming results.
+    pub batch_rows: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_connections: 512,
+            tenant_quota: None,
+            batch_rows: DEFAULT_BATCH_ROWS,
+        }
+    }
+}
+
+impl NetServerConfig {
+    /// Sets the connection cap.
+    pub fn with_max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n;
+        self
+    }
+
+    /// Sets the per-tenant in-flight query quota.
+    pub fn with_tenant_quota(mut self, n: usize) -> Self {
+        self.tenant_quota = Some(n);
+        self
+    }
+
+    /// Sets the streaming batch size (rows per batch frame).
+    pub fn with_batch_rows(mut self, n: usize) -> Self {
+        self.batch_rows = n.max(1);
+        self
+    }
+}
+
+/// A point-in-time snapshot of the network layer's counters.  The
+/// query-level counters ([`ServiceStats`](crate::ServiceStats)) live on
+/// the service underneath; these count wire-level events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Connections accepted and handed to a session.
+    pub accepted: u64,
+    /// Connections turned away at the connection cap.
+    pub rejected_conn_limit: u64,
+    /// Currently open connections (gauge).
+    pub active: u64,
+    /// Malformed frames answered with [`ErrorCode::Protocol`].
+    pub protocol_errors: u64,
+    /// Queries answered with `Batch* + Done`.
+    pub queries_ok: u64,
+    /// Queries answered with a typed [`Response::Error`].
+    pub queries_err: u64,
+    /// Runs refused by the per-tenant quota.
+    pub tenant_rejections: u64,
+    /// In-flight queries cancelled because their client disconnected.
+    pub disconnect_cancels: u64,
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accepted={} rejected_conn_limit={} active={} protocol_errors={} \
+             queries_ok={} queries_err={} tenant_rejections={} disconnect_cancels={}",
+            self.accepted,
+            self.rejected_conn_limit,
+            self.active,
+            self.protocol_errors,
+            self.queries_ok,
+            self.queries_err,
+            self.tenant_rejections,
+            self.disconnect_cancels,
+        )
+    }
+}
+
+#[derive(Default)]
+struct NetStatsCells {
+    accepted: AtomicU64,
+    rejected_conn_limit: AtomicU64,
+    active: AtomicU64,
+    protocol_errors: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_err: AtomicU64,
+    tenant_rejections: AtomicU64,
+    disconnect_cancels: AtomicU64,
+}
+
+impl NetStatsCells {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::SeqCst),
+            rejected_conn_limit: self.rejected_conn_limit.load(Ordering::SeqCst),
+            active: self.active.load(Ordering::SeqCst),
+            protocol_errors: self.protocol_errors.load(Ordering::SeqCst),
+            queries_ok: self.queries_ok.load(Ordering::SeqCst),
+            queries_err: self.queries_err.load(Ordering::SeqCst),
+            tenant_rejections: self.tenant_rejections.load(Ordering::SeqCst),
+            disconnect_cancels: self.disconnect_cancels.load(Ordering::SeqCst),
+        }
+    }
+}
+
+struct NetInner {
+    service: QueryService,
+    config: NetServerConfig,
+    stats: NetStatsCells,
+    /// In-flight query count per tenant (quota accounting).
+    tenants: Mutex<HashMap<String, usize>>,
+    /// Stream clones of open connections, for shutdown.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    shutting_down: AtomicBool,
+}
+
+impl NetInner {
+    fn tenants_lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, usize>> {
+        self.tenants.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+    fn conns_lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Holds one unit of a tenant's quota; released on drop (even if the
+/// query panics).
+struct TenantSlot {
+    inner: Arc<NetInner>,
+    tenant: String,
+}
+
+impl TenantSlot {
+    fn acquire(inner: &Arc<NetInner>, tenant: &str) -> Option<TenantSlot> {
+        let mut map = inner.tenants_lock();
+        let count = map.entry(tenant.to_string()).or_insert(0);
+        if let Some(quota) = inner.config.tenant_quota {
+            if *count >= quota {
+                return None;
+            }
+        }
+        *count += 1;
+        Some(TenantSlot {
+            inner: Arc::clone(inner),
+            tenant: tenant.to_string(),
+        })
+    }
+}
+
+impl Drop for TenantSlot {
+    fn drop(&mut self) {
+        let mut map = self.inner.tenants_lock();
+        if let Some(count) = map.get_mut(&self.tenant) {
+            *count -= 1;
+            if *count == 0 {
+                map.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+/// What the reader thread forwards to the executor thread.
+enum ConnEvent {
+    /// A well-formed request.
+    Req(Request),
+    /// The peer broke the protocol; reply and close.
+    Bad(ProtoError),
+    /// The peer disconnected (EOF or transport error).
+    Eof,
+}
+
+/// A TCP server speaking the `proto` wire format over a shared
+/// [`QueryService`].  Dropping the server shuts it down (acceptor
+/// stopped, open connections closed, in-flight queries cancelled).
+pub struct NetServer {
+    inner: Arc<NetInner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    pub fn bind(
+        service: QueryService,
+        addr: impl ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(NetInner {
+            service,
+            config,
+            stats: NetStatsCells::default(),
+            tenants: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+        });
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            let handles = Arc::clone(&conn_handles);
+            std::thread::Builder::new()
+                .name("rqo-net-acceptor".into())
+                .spawn(move || accept_loop(listener, inner, handles))?
+        };
+        Ok(NetServer {
+            inner,
+            addr: local,
+            acceptor: Some(acceptor),
+            conn_handles,
+        })
+    }
+
+    /// The bound address (use after binding port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &QueryService {
+        &self.inner.service
+    }
+
+    /// Wire-level counters.
+    pub fn stats(&self) -> NetStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Stops accepting, closes every open connection (cancelling
+    /// in-flight queries via their tokens), and joins all threads.
+    pub fn shutdown(&mut self) {
+        if self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of `accept()` with a throwaway
+        // connection; it observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Closing the sockets EOFs every reader, which cancels
+        // in-flight tokens and unwinds the executors.
+        for (_, stream) in self.inner.conns_lock().iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles = std::mem::take(&mut *lock_handles(&self.conn_handles));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn lock_handles(
+    handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    handles.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inner: Arc<NetInner>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_conn_id: u64 = 0;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let active = inner.stats.active.load(Ordering::SeqCst);
+        if active as usize >= inner.config.max_connections {
+            inner
+                .stats
+                .rejected_conn_limit
+                .fetch_add(1, Ordering::SeqCst);
+            let mut stream = stream;
+            let reply = Response::Error {
+                id: 0,
+                code: ErrorCode::ConnectionLimit,
+                message: "connection limit reached".into(),
+            };
+            let _ = write_frame(&mut stream, &reply.encode());
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        inner.stats.accepted.fetch_add(1, Ordering::SeqCst);
+        inner.stats.active.fetch_add(1, Ordering::SeqCst);
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        if let Ok(clone) = stream.try_clone() {
+            inner.conns_lock().insert(conn_id, clone);
+        }
+        let conn_inner = Arc::clone(&inner);
+        let spawned = std::thread::Builder::new()
+            .name(format!("rqo-net-conn-{conn_id}"))
+            .spawn(move || {
+                // The executor must never bring the server down: a
+                // panic that escapes a query (already accounted by the
+                // service's `panicked` counter) ends this connection
+                // only.
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    serve_connection(&conn_inner, conn_id, stream)
+                }));
+                conn_inner.conns_lock().remove(&conn_id);
+                conn_inner.stats.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(handle) => {
+                let mut guard = lock_handles(&handles);
+                // Reap finished connections so the vec stays bounded
+                // over a long-lived server.
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            Err(_) => {
+                inner.conns_lock().remove(&conn_id);
+                inner.stats.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// The executor side of one connection; spawns and joins its reader.
+fn serve_connection(inner: &Arc<NetInner>, conn_id: u64, stream: TcpStream) {
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx): (Sender<ConnEvent>, Receiver<ConnEvent>) = channel();
+    // The in-flight query's token, shared with the reader so a
+    // disconnect can cancel it while the executor is blocked inside
+    // the service.
+    let in_flight: Arc<Mutex<Option<QueryToken>>> = Arc::new(Mutex::new(None));
+    let reader = {
+        let inner = Arc::clone(inner);
+        let in_flight = Arc::clone(&in_flight);
+        std::thread::Builder::new()
+            .name(format!("rqo-net-read-{conn_id}"))
+            .spawn(move || read_loop(reader_stream, tx, in_flight, inner))
+    };
+    let reader = match reader {
+        Ok(h) => h,
+        Err(_) => return,
+    };
+    executor_loop(inner, stream, rx, &in_flight);
+    let _ = reader.join();
+}
+
+/// Blocks on frame reads; forwards decoded requests, reports protocol
+/// errors, and turns EOF/transport failure into cancellation of the
+/// in-flight query.
+fn read_loop(
+    mut stream: TcpStream,
+    tx: Sender<ConnEvent>,
+    in_flight: Arc<Mutex<Option<QueryToken>>>,
+    inner: Arc<NetInner>,
+) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(body)) => match Request::decode(&body) {
+                Ok(req) => {
+                    if tx.send(ConnEvent::Req(req)).is_err() {
+                        return; // executor gone
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(ConnEvent::Bad(e));
+                    return;
+                }
+            },
+            Ok(None) | Err(FrameReadError::Io(_)) => {
+                // Client disconnected (cleanly or not): cancel whatever
+                // is running so the slot frees at the next morsel.
+                let token = in_flight
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take();
+                if let Some(token) = token {
+                    token.cancel();
+                    inner
+                        .stats
+                        .disconnect_cancels
+                        .fetch_add(1, Ordering::SeqCst);
+                }
+                let _ = tx.send(ConnEvent::Eof);
+                return;
+            }
+            Err(FrameReadError::Proto(e)) => {
+                let _ = tx.send(ConnEvent::Bad(e));
+                return;
+            }
+        }
+    }
+}
+
+/// Processes requests serially and writes responses.
+fn executor_loop(
+    inner: &Arc<NetInner>,
+    mut stream: TcpStream,
+    rx: Receiver<ConnEvent>,
+    in_flight: &Arc<Mutex<Option<QueryToken>>>,
+) {
+    let mut tenant = String::new();
+    while let Ok(event) = rx.recv() {
+        match event {
+            ConnEvent::Req(Request::Hello { tenant: t }) => tenant = t,
+            ConnEvent::Req(Request::Ping { nonce }) => {
+                if send(&mut stream, &Response::Pong { nonce }).is_err() {
+                    break;
+                }
+            }
+            ConnEvent::Req(Request::Run {
+                id,
+                mode,
+                deadline_ms,
+                query,
+            }) => {
+                let ok = handle_run(
+                    inner,
+                    &mut stream,
+                    in_flight,
+                    &tenant,
+                    id,
+                    mode,
+                    deadline_ms,
+                    query,
+                );
+                if !ok {
+                    break;
+                }
+            }
+            ConnEvent::Bad(e) => {
+                inner.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = send(
+                    &mut stream,
+                    &Response::Error {
+                        id: 0,
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+            ConnEvent::Eof => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Runs one query end to end; returns `false` if the connection is
+/// unwritable and should close.
+#[allow(clippy::too_many_arguments)]
+fn handle_run(
+    inner: &Arc<NetInner>,
+    stream: &mut TcpStream,
+    in_flight: &Arc<Mutex<Option<QueryToken>>>,
+    tenant: &str,
+    id: u64,
+    mode: RunMode,
+    deadline_ms: u64,
+    query: Query,
+) -> bool {
+    let fail = |stream: &mut TcpStream, code: ErrorCode, message: String| {
+        inner.stats.queries_err.fetch_add(1, Ordering::SeqCst);
+        send(stream, &Response::Error { id, code, message }).is_ok()
+    };
+
+    // Validate against the catalog before spending an admission slot:
+    // unknown tables/columns are a client error, not a server panic.
+    if let Err(msg) = validate_query(inner, &query) {
+        return fail(stream, ErrorCode::BadQuery, msg);
+    }
+
+    // Per-tenant quota, ahead of global admission.
+    let _tenant_slot = match TenantSlot::acquire(inner, tenant) {
+        Some(slot) => slot,
+        None => {
+            inner.stats.tenant_rejections.fetch_add(1, Ordering::SeqCst);
+            return fail(
+                stream,
+                ErrorCode::TenantQuota,
+                format!("tenant {tenant:?} is at its in-flight quota"),
+            );
+        }
+    };
+
+    let handle = if deadline_ms > 0 {
+        QueryHandle::with_deadline(Duration::from_millis(deadline_ms))
+    } else {
+        QueryHandle::new()
+    };
+    *in_flight.lock().unwrap_or_else(PoisonError::into_inner) = Some(handle.token().clone());
+
+    let service = &inner.service;
+    let result = catch_unwind(AssertUnwindSafe(|| match mode {
+        RunMode::Run => service.run(&query, &handle).map(|o| (o, 0u64)),
+        RunMode::Adaptive => service
+            .run_adaptive(&query, &handle)
+            .map(|a| (a.outcome, a.events.len() as u64)),
+    }));
+
+    // Clear the in-flight slot; the reader may already have taken it
+    // (disconnect), which is fine — the token is per-query.
+    in_flight
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+
+    match result {
+        Ok(Ok((outcome, replans))) => {
+            let total_rows = outcome.rows.len() as u64;
+            for chunk in outcome.rows.chunks(inner.config.batch_rows.max(1)) {
+                let batch = Response::Batch {
+                    id,
+                    rows: chunk.to_vec(),
+                };
+                if send(stream, &batch).is_err() {
+                    return false;
+                }
+            }
+            inner.stats.queries_ok.fetch_add(1, Ordering::SeqCst);
+            send(
+                stream,
+                &Response::Done {
+                    id,
+                    columns: outcome.columns,
+                    total_rows,
+                    simulated_seconds: outcome.simulated_seconds,
+                    estimated_seconds: outcome.estimated_seconds,
+                    replans,
+                },
+            )
+            .is_ok()
+        }
+        Ok(Err(e)) => {
+            let code = match e {
+                ServiceError::QueueFull => ErrorCode::QueueFull,
+                ServiceError::QueueTimeout => ErrorCode::QueueTimeout,
+                ServiceError::Stopped(StopReason::Cancelled) => ErrorCode::Cancelled,
+                ServiceError::Stopped(StopReason::DeadlineExceeded) => ErrorCode::DeadlineExceeded,
+            };
+            fail(stream, code, e.to_string())
+        }
+        Err(_) => fail(
+            stream,
+            ErrorCode::Internal,
+            "query execution panicked".into(),
+        ),
+    }
+}
+
+/// Checks a decoded query against the catalog: every table exists,
+/// every predicate binds against its table's schema, and every
+/// group-by / aggregate column exists on some listed table.
+fn validate_query(inner: &Arc<NetInner>, query: &Query) -> Result<(), String> {
+    let catalog = inner.service.engine().catalog();
+    let mut schemas = Vec::with_capacity(query.tables.len());
+    for name in &query.tables {
+        match catalog.table(name) {
+            Ok(table) => schemas.push(table.schema()),
+            Err(_) => return Err(format!("unknown table {name:?}")),
+        }
+    }
+    for (table, predicate) in &query.predicates {
+        let idx = query
+            .tables
+            .iter()
+            .position(|t| t == table)
+            .expect("decode enforced predicate tables are listed");
+        if let Err(e) = predicate.bind(schemas[idx]) {
+            return Err(format!("predicate on {table:?}: {e}"));
+        }
+    }
+    let column_exists = |col: &str| schemas.iter().any(|s| s.index_of(col).is_some());
+    for col in &query.group_by {
+        if !column_exists(col) {
+            return Err(format!("unknown group-by column {col:?}"));
+        }
+    }
+    for agg in &query.aggregates {
+        if let Some(col) = &agg.column {
+            if !column_exists(col) {
+                return Err(format!("unknown aggregate column {col:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    write_frame(stream, &resp.encode())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// Why a [`NetClient`] call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes violated the protocol (or the connection
+    /// closed mid-reply).
+    Proto(ProtoError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The error code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> Self {
+        match e {
+            FrameReadError::Io(e) => ClientError::Io(e),
+            FrameReadError::Proto(e) => ClientError::Proto(e),
+        }
+    }
+}
+
+/// A successful query's reply, reassembled from its batch stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Result rows, in result order.
+    pub rows: Vec<Vec<Value>>,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Simulated execution cost in seconds.
+    pub simulated_seconds: f64,
+    /// The optimizer's estimate in seconds.
+    pub estimated_seconds: f64,
+    /// Mid-query re-plans.
+    pub replans: u64,
+}
+
+/// A blocking client for the wire protocol: one request at a time over
+/// one TCP connection.  Used by tests, the bench driver, and
+/// `rqo_serve --connect`.
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects to a [`NetServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(NetClient { stream, next_id: 1 })
+    }
+
+    /// Declares this connection's tenant (no reply expected).
+    pub fn hello(&mut self, tenant: &str) -> io::Result<()> {
+        let req = Request::Hello {
+            tenant: tenant.to_string(),
+        };
+        write_frame(&mut self.stream, &req.encode())
+    }
+
+    /// Round-trips a ping.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let nonce = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &Request::Ping { nonce }.encode())?;
+        match self.recv()? {
+            Response::Pong { nonce: n } if n == nonce => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Runs `query` and reassembles the streamed reply.
+    pub fn run(&mut self, query: &Query) -> Result<QueryReply, ClientError> {
+        self.run_mode(query, RunMode::Run, 0)
+    }
+
+    /// Runs `query` under `mode` with an optional deadline
+    /// (`deadline_ms == 0` means none).
+    pub fn run_mode(
+        &mut self,
+        query: &Query,
+        mode: RunMode,
+        deadline_ms: u64,
+    ) -> Result<QueryReply, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request::Run {
+            id,
+            mode,
+            deadline_ms,
+            query: query.clone(),
+        };
+        write_frame(&mut self.stream, &req.encode())?;
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::Batch {
+                    id: rid,
+                    rows: mut batch,
+                } if rid == id => {
+                    rows.append(&mut batch);
+                }
+                Response::Done {
+                    id: rid,
+                    columns,
+                    total_rows,
+                    simulated_seconds,
+                    estimated_seconds,
+                    replans,
+                } if rid == id => {
+                    if total_rows != rows.len() as u64 {
+                        return Err(ClientError::Proto(ProtoError::Invalid(
+                            "row count mismatch between batches and summary",
+                        )));
+                    }
+                    return Ok(QueryReply {
+                        rows,
+                        columns,
+                        simulated_seconds,
+                        estimated_seconds,
+                        replans,
+                    });
+                }
+                Response::Error { code, message, .. } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                other => return Err(unexpected(other)),
+            }
+        }
+    }
+
+    /// Sends raw bytes down the socket (for malformed-frame tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads one response frame.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.stream)? {
+            Some(body) => Response::decode(&body).map_err(ClientError::Proto),
+            None => Err(ClientError::Proto(ProtoError::Truncated)),
+        }
+    }
+
+    /// The underlying stream (for tests that need to half-close or
+    /// drop abruptly).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    match resp {
+        Response::Error { code, message, .. } => ClientError::Server { code, message },
+        _ => ClientError::Proto(ProtoError::Invalid("response for a different request")),
+    }
+}

@@ -334,9 +334,9 @@ mod tests {
         n: usize,
     ) -> (bool, Vec<usize>) {
         let seen = Mutex::new(Vec::new());
-        let run_one = |i: usize| seen.lock().unwrap().push(i);
+        let run_one = |i: usize| seen.lock().unwrap_or_else(PoisonError::into_inner).push(i);
         let complete = pool.run_job(token, n, &run_one);
-        let mut indices = seen.into_inner().unwrap();
+        let mut indices = seen.into_inner().unwrap_or_else(PoisonError::into_inner);
         indices.sort_unstable();
         (complete, indices)
     }
@@ -449,6 +449,26 @@ mod tests {
         let (complete, indices) = collect_indices(&pool, None, 32);
         assert!(complete);
         assert_eq!(indices.len(), 32);
+    }
+
+    #[test]
+    fn poisoned_pool_lock_recovers() {
+        let pool = WorkerPool::new(2);
+        // Poison the pool's state mutex: a thread panics while holding
+        // it.  (Workers only ever mutate state *before* running user
+        // code, so logical state is still consistent — exactly the
+        // situation `PoisonError::into_inner` recovery is for.)
+        let shared = Arc::clone(&pool.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.state.lock().unwrap();
+            panic!("poison the pool lock");
+        })
+        .join();
+        assert!(pool.shared.state.is_poisoned(), "mutex really is poisoned");
+        // The pool must keep scheduling regardless.
+        let (complete, indices) = collect_indices(&pool, None, 16);
+        assert!(complete, "job ran to completion on a poisoned lock");
+        assert_eq!(indices, (0..16).collect::<Vec<_>>());
     }
 
     #[test]

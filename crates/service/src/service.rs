@@ -109,14 +109,20 @@ pub struct ServiceStats {
     pub deadline_exceeded: u64,
     /// Queries whose token fired while still waiting for a slot.
     pub stopped_in_queue: u64,
+    /// Admitted queries whose execution closure panicked (the panic is
+    /// re-raised after accounting; the slot is freed by the guard).
+    pub panicked: u64,
+    /// High-water mark of the admission queue depth.
+    pub peak_queued: u64,
 }
 
 impl ServiceStats {
     /// Every admitted query eventually returned its slot: completed,
-    /// cancelled, or deadline-exceeded.  True only when the service is
-    /// quiescent (no query mid-flight) — the bench's self-check.
+    /// cancelled, deadline-exceeded, or panicked.  True only when the
+    /// service is quiescent (no query mid-flight) — the bench's
+    /// self-check.
     pub fn slots_balanced(&self) -> bool {
-        self.admitted == self.completed + self.cancelled + self.deadline_exceeded
+        self.admitted == self.completed + self.cancelled + self.deadline_exceeded + self.panicked
     }
 }
 
@@ -124,16 +130,18 @@ impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "admitted={} queued={} rejected_full={} rejected_timeout={} \
-             completed={} cancelled={} deadline_exceeded={} stopped_in_queue={}",
+            "admitted={} queued={} peak_queued={} rejected_full={} rejected_timeout={} \
+             completed={} cancelled={} deadline_exceeded={} stopped_in_queue={} panicked={}",
             self.admitted,
             self.queued,
+            self.peak_queued,
             self.rejected_queue_full,
             self.rejected_queue_timeout,
             self.completed,
             self.cancelled,
             self.deadline_exceeded,
             self.stopped_in_queue,
+            self.panicked,
         )
     }
 }
@@ -148,6 +156,8 @@ struct StatsCells {
     cancelled: AtomicU64,
     deadline_exceeded: AtomicU64,
     stopped_in_queue: AtomicU64,
+    panicked: AtomicU64,
+    peak_queued: AtomicU64,
 }
 
 impl StatsCells {
@@ -161,6 +171,8 @@ impl StatsCells {
             cancelled: self.cancelled.load(Ordering::SeqCst),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::SeqCst),
             stopped_in_queue: self.stopped_in_queue.load(Ordering::SeqCst),
+            panicked: self.panicked.load(Ordering::SeqCst),
+            peak_queued: self.peak_queued.load(Ordering::SeqCst),
         }
     }
 }
@@ -234,6 +246,9 @@ impl Inner {
         }
         state.waiting += 1;
         self.stats.queued.fetch_add(1, Ordering::SeqCst);
+        self.stats
+            .peak_queued
+            .fetch_max(state.waiting as u64, Ordering::SeqCst);
         let give_up = Instant::now() + self.config.queue_timeout;
         loop {
             // Wait in short slices so a queued query still notices its
@@ -313,6 +328,14 @@ impl QueryService {
         self.inner.stats.snapshot()
     }
 
+    /// Instantaneous admission gauge: `(running, waiting)`.  Unlike the
+    /// monotone [`ServiceStats`] counters this is a live sample, meant
+    /// for queue-depth polling by benches and monitors.
+    pub fn admission_depth(&self) -> (usize, usize) {
+        let state = self.inner.admission.lock();
+        (state.running, state.waiting)
+    }
+
     /// Opens a client session.  Sessions share the engine (plan cache,
     /// feedback) and the worker pool; each query gets its own handle.
     pub fn session(&self) -> Session {
@@ -339,8 +362,20 @@ impl QueryService {
             .inner
             .engine
             .query_exec_options(Some(token), Some(scheduler));
-        let result = run(&opts);
+        // A panicking query (e.g. one built from untrusted wire bytes
+        // that slipped past validation) must still be accounted for, or
+        // `slots_balanced` would report a leak that is really a crash.
+        // The slot itself is drop-freed either way; we count the panic
+        // and re-raise it for the caller's own containment.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&opts)));
         drop(slot);
+        let result = match result {
+            Ok(r) => r,
+            Err(payload) => {
+                self.inner.stats.panicked.fetch_add(1, Ordering::SeqCst);
+                std::panic::resume_unwind(payload);
+            }
+        };
         match result {
             Ok(value) => {
                 self.inner.stats.completed.fetch_add(1, Ordering::SeqCst);
@@ -588,6 +623,46 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.admitted, 2);
         assert_eq!(stats.queued, 1);
+    }
+
+    #[test]
+    fn panicking_query_is_counted_and_frees_its_slot() {
+        let service = QueryService::new(tiny_engine(), ServiceConfig::default());
+        let handle = QueryHandle::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.execute::<()>(&handle, |_| panic!("boom"))
+        }));
+        assert!(caught.is_err(), "panic is re-raised to the caller");
+        let stats = service.stats();
+        assert_eq!((stats.admitted, stats.panicked), (1, 1));
+        assert!(stats.slots_balanced(), "panic is accounted, not leaked");
+        // The slot was freed by the guard: the next query runs fine.
+        assert!(service.session().run(&count_query()).is_ok());
+    }
+
+    #[test]
+    fn peak_queued_tracks_the_queue_high_water_mark() {
+        let config = ServiceConfig::default()
+            .with_max_concurrent(1)
+            .with_queue_capacity(4)
+            .with_queue_timeout(Duration::from_millis(10));
+        let service = QueryService::new(tiny_engine(), config);
+        let _slot = service.inner.admit(&QueryToken::new()).expect("first slot");
+        // Two concurrent waiters both time out; the peak must still
+        // record that they overlapped in the queue.
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let svc = &service;
+                scope.spawn(move || {
+                    let _ = svc.inner.admit(&QueryToken::new());
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.queued, 2);
+        assert!(stats.peak_queued >= 1, "queue depth was sampled");
+        let (running, waiting) = service.admission_depth();
+        assert_eq!((running, waiting), (1, 0), "gauge sees the held slot");
     }
 
     #[test]

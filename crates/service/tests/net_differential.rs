@@ -1,0 +1,198 @@
+//! Over-the-wire differential suite: the same query mix run through
+//! N concurrent TCP connections must return results **bit-identical**
+//! to an in-process [`Session`] on an identically-seeded engine — at
+//! 1, 4, and 16 connections.  The wire adds framing, batching,
+//! threads, and admission, none of which may perturb a single row,
+//! column name, or simulated cost.
+//!
+//! The concurrent sweep uses the plain run path, whose engine-side
+//! publications (plan-cache inserts) are deterministic under
+//! interleaving.  Adaptive execution *feeds back* observations that
+//! later queries consume, so it is order-dependent by design; its wire
+//! equivalence is pinned separately with a single connection replaying
+//! the exact in-process order.
+
+use std::sync::Mutex;
+
+use rqo_datagen::workload::{exp1_lineitem_predicate, exp2_part_predicate};
+use rqo_datagen::{TpchConfig, TpchData};
+use rqo_exec::AggExpr;
+use rqo_optimizer::Query;
+use rqo_service::net::{NetClient, NetServer, NetServerConfig, QueryReply};
+use rqo_service::proto::RunMode;
+use rqo_service::{Engine, QueryService, ServiceConfig};
+use rqo_storage::Value;
+
+fn engine() -> Engine {
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.001,
+        seed: 7,
+    });
+    Engine::new(data.into_catalog())
+}
+
+/// The mixed workload: cheap single-table windows plus multi-way joins
+/// with grouping, so scans, joins, and aggregates all cross the wire.
+fn workload() -> Vec<Query> {
+    vec![
+        Query::over(&["lineitem"])
+            .filter("lineitem", exp1_lineitem_predicate(30))
+            .aggregate(AggExpr::sum("l_extendedprice", "revenue"))
+            .aggregate(AggExpr::count_star("n")),
+        Query::over(&["lineitem"])
+            .filter("lineitem", exp1_lineitem_predicate(110))
+            .aggregate(AggExpr::count_star("n")),
+        Query::over(&["lineitem", "orders"]).aggregate(AggExpr::count_star("n")),
+        Query::over(&["lineitem", "orders", "part"])
+            .filter("part", exp2_part_predicate(150))
+            .aggregate(AggExpr::count_star("n")),
+        Query::over(&["lineitem", "part"])
+            .filter("part", exp2_part_predicate(212))
+            .group(&["p_container"])
+            .aggregate(AggExpr::count_star("n")),
+    ]
+}
+
+/// The comparable core of a reply.
+#[derive(Debug, PartialEq)]
+struct Core {
+    rows: Vec<Vec<Value>>,
+    columns: Vec<String>,
+    /// Simulated cost carried as raw bits so the comparison is exact.
+    simulated: u64,
+    replans: u64,
+}
+
+impl Core {
+    fn of(rows: Vec<Vec<Value>>, columns: Vec<String>, seconds: f64, replans: u64) -> Core {
+        Core {
+            rows,
+            columns,
+            simulated: seconds.to_bits(),
+            replans,
+        }
+    }
+    fn from_reply(reply: QueryReply) -> Core {
+        Core::of(
+            reply.rows,
+            reply.columns,
+            reply.simulated_seconds,
+            reply.replans,
+        )
+    }
+}
+
+#[test]
+fn concurrent_wire_results_match_in_process_sessions() {
+    // Ground truth from an in-process session on an identical engine.
+    let truth: Vec<Core> = {
+        let service = QueryService::new(engine(), ServiceConfig::default());
+        let session = service.session();
+        workload()
+            .iter()
+            .map(|q| {
+                let o = session.run(q).expect("in-process run");
+                Core::of(o.rows, o.columns, o.simulated_seconds, 0)
+            })
+            .collect()
+    };
+
+    for clients in [1usize, 4, 16] {
+        let service = QueryService::new(engine(), ServiceConfig::default());
+        let server =
+            NetServer::bind(service, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+        let addr = server.local_addr();
+        let mismatches: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for client_id in 0..clients {
+                let truth = &truth;
+                let mismatches = &mismatches;
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr).expect("connect");
+                    client.hello(&format!("client-{client_id}")).expect("hello");
+                    // Each client walks the workload from its own
+                    // offset so different queries overlap on the server.
+                    let queries = workload();
+                    for k in 0..queries.len() {
+                        let qi = (client_id + k) % queries.len();
+                        let reply = client
+                            .run_mode(&queries[qi], RunMode::Run, 0)
+                            .expect("wire query succeeds");
+                        let got = Core::from_reply(reply);
+                        if got != truth[qi] {
+                            mismatches
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push(format!("client {client_id} query {qi}: {got:?}"));
+                        }
+                    }
+                });
+            }
+        });
+
+        let bad = mismatches
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(
+            bad.is_empty(),
+            "{clients} connections: {} mismatches vs in-process session:\n{}",
+            bad.len(),
+            bad.join("\n")
+        );
+
+        let total = (clients * workload().len()) as u64;
+        let stats = server.service().stats();
+        assert!(
+            stats.slots_balanced(),
+            "slot leak at {clients} clients: {stats}"
+        );
+        assert_eq!(
+            stats.completed, total,
+            "every wire query completed exactly once: {stats}"
+        );
+        let net = server.stats();
+        assert_eq!(net.protocol_errors, 0, "clean run had protocol errors");
+        assert_eq!(net.queries_ok, total);
+    }
+}
+
+#[test]
+fn adaptive_wire_replay_matches_in_process_order() {
+    // Adaptive runs consume the feedback earlier adaptive runs publish,
+    // so equivalence is defined over a fixed order: one wire connection
+    // replaying exactly the sequence the in-process session ran.
+    let truth: Vec<Core> = {
+        let service = QueryService::new(engine(), ServiceConfig::default());
+        let session = service.session();
+        workload()
+            .iter()
+            .map(|q| {
+                let a = session.run_adaptive(q).expect("in-process adaptive");
+                Core::of(
+                    a.outcome.rows,
+                    a.outcome.columns,
+                    a.outcome.simulated_seconds,
+                    a.events.len() as u64,
+                )
+            })
+            .collect()
+    };
+
+    let service = QueryService::new(engine(), ServiceConfig::default());
+    let server = NetServer::bind(service, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    for (qi, query) in workload().iter().enumerate() {
+        let reply = client
+            .run_mode(query, RunMode::Adaptive, 0)
+            .expect("wire adaptive succeeds");
+        assert_eq!(
+            Core::from_reply(reply),
+            truth[qi],
+            "adaptive divergence at query {qi}"
+        );
+    }
+    let stats = server.service().stats();
+    assert!(stats.slots_balanced(), "{stats}");
+    assert_eq!(stats.completed as usize, workload().len());
+}

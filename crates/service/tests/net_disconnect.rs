@@ -1,0 +1,155 @@
+//! Client-disconnect propagation over a real socket: dropping the TCP
+//! connection while a query is executing must cancel it through the
+//! existing [`QueryToken`] path — promptly, with the engine's no-trace
+//! hygiene (no plan-cache insert, no feedback observations), and with
+//! the service counters balancing afterwards.  The same long-query
+//! machinery also pins the per-tenant admission quota, which needs a
+//! genuinely in-flight query to be observable.
+//!
+//! The long query is a three-way join sized to run for seconds in
+//! debug builds (hundreds of milliseconds in release); the test never
+//! sleeps a fixed "long enough" interval before disconnecting — it
+//! polls the service's `admitted` counter so the cancel always lands
+//! mid-execution.
+
+use std::net::Shutdown;
+use std::time::{Duration, Instant};
+
+use rqo_datagen::{TpchConfig, TpchData};
+use rqo_exec::AggExpr;
+use rqo_optimizer::Query;
+use rqo_service::net::{ClientError, NetClient, NetServer, NetServerConfig};
+use rqo_service::proto::{write_frame, ErrorCode, Request, RunMode};
+use rqo_service::{Engine, QueryService, ServiceConfig, ServiceStats};
+
+/// Big enough that the join below runs for seconds in debug mode.
+const SCALE: f64 = 0.02;
+
+fn server_with(config: NetServerConfig) -> NetServer {
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: SCALE,
+        seed: 7,
+    });
+    let service = QueryService::new(Engine::new(data.into_catalog()), ServiceConfig::default());
+    NetServer::bind(service, "127.0.0.1:0", config).expect("bind loopback")
+}
+
+fn long_query() -> Query {
+    Query::over(&["lineitem", "orders", "part"]).aggregate(AggExpr::count_star("n"))
+}
+
+fn short_query() -> Query {
+    Query::over(&["part"]).aggregate(AggExpr::count_star("n"))
+}
+
+fn poll_until(what: &str, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn assert_quiescent_and_balanced(stats: ServiceStats) {
+    assert!(stats.slots_balanced(), "execution slot leaked: {stats}");
+    assert_eq!(stats.panicked, 0, "query panicked: {stats}");
+}
+
+#[test]
+fn disconnect_mid_query_cancels_via_token_with_no_trace() {
+    let server = server_with(NetServerConfig::default());
+    let service = server.service().clone();
+    let engine = service.engine().clone();
+
+    // Fire the query without waiting for its reply, then watch it get
+    // admitted.
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let req = Request::Run {
+        id: 1,
+        mode: RunMode::Run,
+        deadline_ms: 0,
+        query: long_query(),
+    };
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &req.encode()).unwrap();
+    client.send_raw(&frame).expect("send run");
+    poll_until("query admitted", || service.stats().admitted == 1);
+
+    // Hard disconnect while the join is grinding.
+    client.stream().shutdown(Shutdown::Both).expect("shutdown");
+    drop(client);
+
+    // The reader notices EOF, cancels the token, and the query stops at
+    // its next morsel boundary — long before it could complete.
+    poll_until("cancellation", || service.stats().cancelled == 1);
+    poll_until("connection drained", || server.stats().active == 0);
+
+    let stats = service.stats();
+    assert_eq!(stats.completed, 0, "query must not have finished: {stats}");
+    assert_quiescent_and_balanced(stats);
+    assert_eq!(server.stats().disconnect_cancels, 1, "{}", server.stats());
+
+    // No-trace hygiene: the cancelled run published nothing.
+    assert_eq!(
+        engine.cache_stats().entries,
+        0,
+        "cancelled query inserted a plan"
+    );
+    assert!(
+        engine.feedback().snapshot().is_empty(),
+        "cancelled query recorded feedback"
+    );
+
+    // And the engine is unharmed: the same query completes over a fresh
+    // connection with the right answer.
+    let mut retry = NetClient::connect(server.local_addr()).expect("reconnect");
+    let reply = retry.run(&short_query()).expect("server still serves");
+    assert_eq!(reply.rows.len(), 1);
+}
+
+#[test]
+fn tenant_quota_bounds_in_flight_queries_per_tenant() {
+    let config = NetServerConfig::default().with_tenant_quota(1);
+    let server = server_with(config);
+    let service = server.service().clone();
+    let addr = server.local_addr();
+
+    // Tenant "acme" occupies its whole quota with one long query...
+    let mut first = NetClient::connect(addr).expect("connect first");
+    first.hello("acme").expect("hello");
+    let req = Request::Run {
+        id: 1,
+        mode: RunMode::Run,
+        deadline_ms: 0,
+        query: long_query(),
+    };
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &req.encode()).unwrap();
+    first.send_raw(&frame).expect("send run");
+    poll_until("first query admitted", || service.stats().admitted == 1);
+
+    // ... so a second "acme" connection is refused before admission ...
+    let mut second = NetClient::connect(addr).expect("connect second");
+    second.hello("acme").expect("hello");
+    match second.run(&short_query()) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::TenantQuota),
+        other => panic!("expected TenantQuota, got {other:?}"),
+    }
+    assert_eq!(server.stats().tenant_rejections, 1);
+
+    // ... while a different tenant sails through on the same service.
+    let mut other = NetClient::connect(addr).expect("connect other");
+    other.hello("globex").expect("hello");
+    let reply = other.run(&short_query()).expect("other tenant unaffected");
+    assert_eq!(reply.rows.len(), 1);
+
+    // Ending the first query (via disconnect-cancel) releases the
+    // quota slot for the tenant.
+    first.stream().shutdown(Shutdown::Both).expect("shutdown");
+    drop(first);
+    poll_until("first query cancelled", || service.stats().cancelled == 1);
+    let reply = second.run(&short_query()).expect("quota slot released");
+    assert_eq!(reply.rows.len(), 1);
+
+    assert_quiescent_and_balanced(service.stats());
+}

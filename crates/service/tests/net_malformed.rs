@@ -1,0 +1,220 @@
+//! Hostile-bytes hardening for the network front-end: truncated,
+//! oversized, and garbage frames must each produce one typed
+//! [`ErrorCode::Protocol`] reply (or a silent close for streams that
+//! never complete a frame), must never panic the server, and must never
+//! leak an execution slot or a connection.  The server must keep
+//! serving valid clients afterwards.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use rqo_datagen::{TpchConfig, TpchData};
+use rqo_exec::AggExpr;
+use rqo_optimizer::Query;
+use rqo_service::net::{ClientError, NetClient, NetServer, NetServerConfig};
+use rqo_service::proto::{write_frame, ErrorCode, Request, Response};
+use rqo_service::{Engine, QueryService, ServiceConfig};
+
+fn serve() -> NetServer {
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.001,
+        seed: 7,
+    });
+    let service = QueryService::new(Engine::new(data.into_catalog()), ServiceConfig::default());
+    NetServer::bind(service, "127.0.0.1:0", NetServerConfig::default()).expect("bind loopback")
+}
+
+fn count_query() -> Query {
+    Query::over(&["part"]).aggregate(AggExpr::count_star("n"))
+}
+
+/// Polls until the server is quiescent (no open connections) so the
+/// post-conditions below are race-free.
+fn await_quiescent(server: &NetServer) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().active > 0 {
+        assert!(Instant::now() < deadline, "connections never drained");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Complete garbage frames the server must answer with a typed
+/// protocol error before closing the connection.
+fn poison_frames() -> Vec<Vec<u8>> {
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    // Unknown tag.
+    let mut f = Vec::new();
+    write_frame(&mut f, &[0x7F, 1, 2, 3]).unwrap();
+    frames.push(f);
+    // Zero-length frame.
+    frames.push(0u32.to_le_bytes().to_vec());
+    // Oversized length claim (4 GiB) with no body.
+    frames.push(u32::MAX.to_le_bytes().to_vec());
+    // Valid Ping with trailing bytes.
+    let mut body = Request::Ping { nonce: 1 }.encode();
+    body.push(0xAB);
+    let mut f = Vec::new();
+    write_frame(&mut f, &body).unwrap();
+    frames.push(f);
+    // Run frame whose payload dies mid-query (bad discriminant).
+    let mut f = Vec::new();
+    write_frame(&mut f, &[0x02, 0, 0, 0, 0, 0, 0, 0, 0, 9]).unwrap();
+    frames.push(f);
+    // A batch-count lie: claims u32::MAX tables.
+    let mut body = vec![0x02u8];
+    body.extend_from_slice(&7u64.to_le_bytes()); // id
+    body.push(0); // mode
+    body.extend_from_slice(&0u64.to_le_bytes()); // deadline
+    body.extend_from_slice(&u32::MAX.to_le_bytes()); // table count
+    let mut f = Vec::new();
+    write_frame(&mut f, &body).unwrap();
+    frames.push(f);
+    frames
+}
+
+#[test]
+fn poison_frames_get_typed_errors_and_leak_nothing() {
+    let server = serve();
+    let addr = server.local_addr();
+
+    for (i, frame) in poison_frames().iter().enumerate() {
+        let mut client = NetClient::connect(addr).expect("connect");
+        client.send_raw(frame).expect("send poison");
+        match client.recv() {
+            Ok(Response::Error { id, code, .. }) => {
+                assert_eq!((id, code), (0, ErrorCode::Protocol), "case {i}");
+            }
+            other => panic!("case {i}: expected protocol error, got {other:?}"),
+        }
+        // The server closed the connection after replying.
+        match client.recv() {
+            Err(_) => {}
+            Ok(resp) => panic!("case {i}: connection stayed open: {resp:?}"),
+        }
+    }
+
+    // A half-frame followed by a hangup is EOF mid-frame: a truncation
+    // the server counts as a protocol error (the reply goes nowhere,
+    // the connection just closes).
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&[200u8, 0, 0, 0, 1, 2, 3]).expect("send");
+        drop(stream);
+    }
+
+    await_quiescent(&server);
+    let net = server.stats();
+    assert_eq!(
+        net.protocol_errors,
+        poison_frames().len() as u64 + 1,
+        "every poison frame (and the truncated one) counted: {net}"
+    );
+
+    // Nothing leaked and the server still works.
+    let service_stats = server.service().stats();
+    assert!(service_stats.slots_balanced(), "slot leak: {service_stats}");
+    assert_eq!(service_stats.panicked, 0, "hostile bytes panicked a query");
+    let mut client = NetClient::connect(addr).expect("connect after poison");
+    let reply = client.run(&count_query()).expect("server still serves");
+    assert_eq!(reply.rows.len(), 1);
+}
+
+#[test]
+fn unknown_tables_and_columns_are_bad_query_not_panic() {
+    let server = serve();
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let ghost = Query::over(&["no_such_table"]).aggregate(AggExpr::count_star("n"));
+    match client.run(&ghost) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadQuery),
+        other => panic!("expected BadQuery, got {other:?}"),
+    }
+
+    let ghost_col = Query::over(&["part"]).aggregate(AggExpr::sum("no_such_col", "s"));
+    match client.run(&ghost_col) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadQuery),
+        other => panic!("expected BadQuery, got {other:?}"),
+    }
+
+    // Same connection still serves valid queries — BadQuery is not a
+    // connection-fatal condition.
+    let reply = client.run(&count_query()).expect("connection survives");
+    assert_eq!(reply.rows.len(), 1);
+
+    let stats = server.service().stats();
+    assert!(stats.slots_balanced());
+    assert_eq!(stats.panicked, 0);
+}
+
+#[test]
+fn connection_limit_turns_excess_clients_away() {
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.001,
+        seed: 7,
+    });
+    let service = QueryService::new(Engine::new(data.into_catalog()), ServiceConfig::default());
+    let config = NetServerConfig::default().with_max_connections(1);
+    let server = NetServer::bind(service, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let mut first = NetClient::connect(addr).expect("first connect");
+    first.ping().expect("first connection live");
+
+    let mut second = NetClient::connect(addr).expect("tcp connect succeeds");
+    match second.recv() {
+        Ok(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::ConnectionLimit),
+        other => panic!("expected ConnectionLimit, got {other:?}"),
+    }
+    assert_eq!(server.stats().rejected_conn_limit, 1);
+
+    // Capacity frees when the first client leaves.
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut retry = NetClient::connect(addr).expect("tcp connect");
+        match retry.ping() {
+            Ok(()) => break,
+            Err(_) => assert!(Instant::now() < deadline, "slot never freed"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Socket-level fuzz: arbitrary byte blobs (whatever frames they
+    /// happen to contain) never panic the server and never leak slots.
+    /// One shared server across all cases keeps this cheap.
+    #[test]
+    fn random_bytes_never_wedge_the_server(blob in proptest::collection::vec(any::<u8>(), 0..128)) {
+        use std::sync::OnceLock;
+        static SERVER: OnceLock<NetServer> = OnceLock::new();
+        let server = SERVER.get_or_init(serve);
+
+        {
+            let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+            let _ = stream.write_all(&blob);
+            // Read whatever comes back (error frame or close) so the
+            // write is not raced by our own reset, then hang up.
+            read_one(&mut stream);
+        }
+
+        // The server still answers a valid client and leaked nothing.
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        client.ping().expect("server alive");
+        let reply = client.run(&count_query()).expect("server functional");
+        prop_assert_eq!(reply.rows.len(), 1);
+        drop(client);
+        let stats = server.service().stats();
+        prop_assert!(stats.slots_balanced(), "slot leak: {}", stats);
+        prop_assert_eq!(stats.panicked, 0);
+    }
+}
+
+/// Reads one response frame with a timeout, ignoring failures.
+fn read_one(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = rqo_service::proto::read_frame(stream);
+}

@@ -12,6 +12,19 @@
 //! rqo_serve [--clients N] [--rounds N] [--scale F] [--seed N] \
 //!           [--workers N] [--max-concurrent N] [--queue-capacity N] [--tiny]
 //! ```
+//!
+//! With `--listen ADDR` it instead becomes a **network server**: the
+//! same service behind the length-prefixed wire protocol, accepting TCP
+//! clients until killed and printing its counters once a second when
+//! they change.  `--connect ADDR` is the matching client: it replays
+//! the workload over the wire and prints each reply's shape and
+//! latency.
+//!
+//! ```sh
+//! rqo_serve --listen 127.0.0.1:4410 [--scale F] [--max-connections N] \
+//!           [--tenant-quota N] ...
+//! rqo_serve --connect 127.0.0.1:4410 [--rounds N] [--tenant NAME]
+//! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -26,6 +39,11 @@ struct Args {
     workers: usize,
     max_concurrent: usize,
     queue_capacity: usize,
+    listen: Option<String>,
+    connect: Option<String>,
+    max_connections: usize,
+    tenant_quota: usize,
+    tenant: String,
 }
 
 impl Args {
@@ -38,6 +56,11 @@ impl Args {
             workers: 2,
             max_concurrent: 4,
             queue_capacity: 64,
+            listen: None,
+            connect: None,
+            max_connections: 512,
+            tenant_quota: 0,
+            tenant: "default".to_string(),
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -65,6 +88,15 @@ impl Args {
                         "--queue-capacity" => {
                             args.queue_capacity = value.parse().expect("--queue-capacity")
                         }
+                        "--listen" => args.listen = Some(value.clone()),
+                        "--connect" => args.connect = Some(value.clone()),
+                        "--max-connections" => {
+                            args.max_connections = value.parse().expect("--max-connections")
+                        }
+                        "--tenant-quota" => {
+                            args.tenant_quota = value.parse().expect("--tenant-quota")
+                        }
+                        "--tenant" => args.tenant = value.clone(),
                         other => panic!("unknown flag {other:?}"),
                     }
                     i += 2;
@@ -97,8 +129,85 @@ fn workload() -> Vec<Query> {
     queries
 }
 
+/// `--listen` mode: serve the wire protocol until killed.
+fn listen_mode(args: &Args, addr: &str) -> ! {
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: args.scale,
+        seed: args.seed,
+    });
+    let service = RobustDb::new(data.into_catalog()).into_service(
+        ServiceConfig::default()
+            .with_workers(args.workers)
+            .with_max_concurrent(args.max_concurrent)
+            .with_queue_capacity(args.queue_capacity)
+            .with_queue_timeout(Duration::from_secs(30)),
+    );
+    let mut config = NetServerConfig::default().with_max_connections(args.max_connections);
+    if args.tenant_quota > 0 {
+        config = config.with_tenant_quota(args.tenant_quota);
+    }
+    let server = NetServer::bind(service, addr, config).expect("bind listen address");
+    println!(
+        "listening on {}  (scale={}, workers={}, max_concurrent={}, max_connections={})",
+        server.local_addr(),
+        args.scale,
+        args.workers,
+        args.max_concurrent,
+        args.max_connections
+    );
+    let mut last = String::new();
+    loop {
+        std::thread::sleep(Duration::from_secs(1));
+        let line = format!("{} | {}", server.stats(), server.service().stats());
+        if line != last {
+            println!("{line}");
+            last = line;
+        }
+    }
+}
+
+/// `--connect` mode: replay the workload over the wire.
+fn connect_mode(args: &Args, addr: &str) {
+    let mut client = NetClient::connect(addr).expect("connect to server");
+    client.hello(&args.tenant).expect("hello");
+    let queries = workload();
+    let start = Instant::now();
+    let mut ran = 0usize;
+    for round in 0..args.rounds {
+        for (qi, query) in queries.iter().enumerate() {
+            let t0 = Instant::now();
+            match client.run(query) {
+                Ok(reply) => {
+                    ran += 1;
+                    println!(
+                        "round {round} query {qi}: {} row(s) × {} col(s) in {:.1}ms \
+                         (simulated {:.3}s)",
+                        reply.rows.len(),
+                        reply.columns.len(),
+                        t0.elapsed().as_secs_f64() * 1e3,
+                        reply.simulated_seconds
+                    );
+                }
+                Err(e) => println!("round {round} query {qi}: ERROR {e}"),
+            }
+        }
+    }
+    println!(
+        "\n{} queries in {:.2}s over one connection to {addr}",
+        ran,
+        start.elapsed().as_secs_f64()
+    );
+}
+
 fn main() {
     let args = Args::parse();
+    if let Some(addr) = args.listen.clone() {
+        listen_mode(&args, &addr);
+    }
+    if let Some(addr) = args.connect.clone() {
+        connect_mode(&args, &addr);
+        return;
+    }
     let data = TpchData::generate(&TpchConfig {
         scale_factor: args.scale,
         seed: args.seed,

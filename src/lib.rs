@@ -90,15 +90,17 @@ pub use rqo_stats as stats;
 pub use rqo_storage as storage;
 
 pub use rqo_service::{
-    AdaptiveOutcome, AnalyzedOutcome, Engine, QueryHandle, QueryOutcome, QueryService, ReplanEvent,
-    ServiceError, ServiceStats, Session,
+    AdaptiveOutcome, AnalyzedOutcome, ClientError, Engine, ErrorCode, NetClient, NetServer,
+    NetServerConfig, NetStats, ProtoError, QueryHandle, QueryOutcome, QueryReply, QueryService,
+    ReplanEvent, Request, Response, RunMode, ServiceError, ServiceStats, Session,
 };
 
 /// One-stop imports for applications and the examples.
 pub mod prelude {
     pub use crate::{
-        AdaptiveOutcome, AnalyzedOutcome, Engine, QueryHandle, QueryOutcome, QueryService,
-        ReplanEvent, RobustDb, ServiceError, ServiceStats, Session,
+        AdaptiveOutcome, AnalyzedOutcome, ClientError, Engine, ErrorCode, NetClient, NetServer,
+        NetServerConfig, NetStats, ProtoError, QueryHandle, QueryOutcome, QueryReply, QueryService,
+        ReplanEvent, Request, Response, RobustDb, RunMode, ServiceError, ServiceStats, Session,
     };
     pub use rqo_core::{
         AdaptivePolicy, CardinalityEstimator, ConfidenceThreshold,

@@ -157,7 +157,7 @@ fn realized_ms(
 ) -> f64 {
     let (_, cost) = robust_qo::exec::execute_with(
         plan,
-        db.catalog(),
+        &db.catalog(),
         params,
         &ExecOptions::with_threads(threads),
     );

@@ -27,7 +27,7 @@
 //!   completes.  A query cancelled between re-plans leaves the shared
 //!   feedback store and cache byte-identical to never having started.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use rqo_core::{
     AdaptivePolicy, ConfidenceThreshold, EstimatorConfig, FeedbackStore, PlanSelection, QueryToken,
@@ -41,8 +41,23 @@ use rqo_optimizer::{
     CacheStats, MaterializedFragment, NodeAnnotation, Optimizer, PlanCache, PlanFingerprint,
     PlannedQuery, Query,
 };
-use rqo_stats::SynopsisRepository;
-use rqo_storage::{Catalog, CostParams, CostTracker, Value};
+use rqo_stats::sketch::DEFAULT_PRECISION;
+use rqo_stats::{SynopsisRepository, TableSketches};
+use rqo_storage::{Catalog, CostParams, CostTracker, StorageError, Value};
+
+/// Recovers a read guard from a poisoned lock: the protected value is an
+/// immutable `Arc` snapshot swapped atomically, so a panicking writer
+/// cannot have left it half-updated.
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Same recovery for writers.
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The result of running one query.
 #[derive(Debug, Clone)]
@@ -193,9 +208,14 @@ impl AdaptiveOutcome {
 /// optimizer, feedback store, and plan cache.  All execution entry
 /// points take `&self` — one engine serves any number of threads.
 pub struct Engine {
-    catalog: Arc<Catalog>,
+    /// Snapshot-swapped: queries clone the `Arc` once at entry and run
+    /// against that immutable snapshot; ingest publishes a successor
+    /// under the write lock.  Readers never block behind a running
+    /// query — the lock is held only for the `Arc` clone/swap.
+    catalog: RwLock<Arc<Catalog>>,
     params: CostParams,
-    synopses: Arc<SynopsisRepository>,
+    /// Snapshot-swapped alongside the catalog (same discipline).
+    synopses: RwLock<Arc<SynopsisRepository>>,
     threshold: ConfidenceThreshold,
     selection: PlanSelection,
     sample_size: usize,
@@ -204,6 +224,18 @@ pub struct Engine {
     feedback: Arc<FeedbackStore>,
     plan_cache: Arc<PlanCache>,
     adaptive_policy: AdaptivePolicy,
+}
+
+/// What [`Engine::insert_rows`] did, for observability and wire replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertSummary {
+    /// Rows appended by this batch.
+    pub rows_inserted: usize,
+    /// The table's total row count after the append.
+    pub table_rows: usize,
+    /// Distinct partitions the batch touched (sorted; `[0]` for
+    /// unpartitioned tables).
+    pub partitions_touched: Vec<usize>,
 }
 
 impl Engine {
@@ -224,9 +256,9 @@ impl Engine {
         let catalog = Arc::new(catalog);
         let synopses = Arc::new(SynopsisRepository::build_all(&catalog, sample_size, seed));
         Self {
-            catalog,
+            catalog: RwLock::new(catalog),
             params,
-            synopses,
+            synopses: RwLock::new(synopses),
             threshold: RobustnessLevel::Moderate.threshold(),
             selection: PlanSelection::default(),
             sample_size,
@@ -294,8 +326,9 @@ impl Engine {
     /// recorded feedback and cached plans.
     pub fn refresh_statistics(&mut self, seed: u64) {
         self.seed = seed;
-        self.synopses = Arc::new(SynopsisRepository::build_all(
-            &self.catalog,
+        let catalog = self.catalog();
+        *write_lock(&self.synopses) = Arc::new(SynopsisRepository::build_all(
+            &catalog,
             self.sample_size,
             seed,
         ));
@@ -320,11 +353,102 @@ impl Engine {
     /// partition index is out of range, mirroring
     /// [`SynopsisRepository::refresh_table`].
     pub fn refresh_statistics_partial(&mut self, table: &str, partitions: &[usize], seed: u64) {
-        let mut synopses = SynopsisRepository::clone(&self.synopses);
-        synopses.refresh_table(&self.catalog, table, partitions, seed);
-        self.synopses = Arc::new(synopses);
+        let catalog = self.catalog();
+        let mut synopses = SynopsisRepository::clone(&self.synopses());
+        synopses.refresh_table(&catalog, table, partitions, seed);
+        *write_lock(&self.synopses) = Arc::new(synopses);
         self.feedback.advance_table_epoch(table);
         self.plan_cache.invalidate_table(table);
+    }
+
+    /// Appends a batch of rows to one table — the streaming-ingest entry
+    /// point, callable from any thread (`&self`, like the query paths).
+    ///
+    /// The append is published with **snapshot semantics**: a new
+    /// catalog version (rows routed to their partitions, per-partition
+    /// min/max widened, cached indexes rebuilt) and a new statistics
+    /// version (per-partition per-column HLL sketches and reservoir
+    /// samples updated incrementally — seeded from the stored rows on a
+    /// table's first streamed batch) are swapped in atomically; queries
+    /// already running keep their pre-insert snapshots.
+    ///
+    /// Invalidation is scoped exactly like a partial statistics refresh:
+    /// the table's per-table feedback epoch advances and only cached
+    /// plans reading it are dropped, so warm plans for untouched tables
+    /// survive ingest.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::UnknownTable`] for an unregistered table and
+    /// [`StorageError::SchemaMismatch`] for rows failing
+    /// arity/type/NULL validation; failed batches change nothing.
+    pub fn insert_rows(
+        &self,
+        table: &str,
+        rows: &[Vec<Value>],
+    ) -> Result<InsertSummary, StorageError> {
+        // Serialize ingest on the catalog write lock for the whole
+        // update so concurrent batches to the same table compose;
+        // queries only ever take the read lock for an Arc clone.
+        let mut catalog_slot = write_lock(&self.catalog);
+        if rows.is_empty() {
+            // A no-op batch publishes nothing and invalidates nothing.
+            let table_rows = catalog_slot.table(table)?.num_rows();
+            return Ok(InsertSummary {
+                rows_inserted: 0,
+                table_rows,
+                partitions_touched: Vec::new(),
+            });
+        }
+        let mut catalog = Catalog::clone(&catalog_slot);
+        let assignments = catalog.append_rows(table, rows)?;
+        let table_rows = catalog.table(table)?.num_rows();
+
+        // Streaming statistics: seed from the pre-insert snapshot on
+        // first contact, then fold in the batch row by row.
+        let old_catalog = Arc::clone(&catalog_slot);
+        let synopses_snapshot = self.synopses();
+        let mut sketches = match synopses_snapshot.sketches_for(table) {
+            Some(ts) => TableSketches::clone(ts),
+            None => {
+                let t = old_catalog.table(table).expect("append validated the name");
+                let id = old_catalog.table_id(table).expect("table exists").0 as u64;
+                TableSketches::seeded_from_table(
+                    t,
+                    old_catalog.partitioning(table).map(Arc::as_ref),
+                    DEFAULT_PRECISION,
+                    self.sample_size,
+                    self.seed ^ ((id + 1) << 48),
+                )
+            }
+        };
+        for (row, &p) in rows.iter().zip(&assignments) {
+            sketches.observe(p, row);
+        }
+        let mut synopses = SynopsisRepository::clone(&synopses_snapshot);
+        synopses.publish_sketches(Arc::new(sketches));
+
+        // Publish both snapshots, then invalidate — scoped to `table`.
+        *catalog_slot = Arc::new(catalog);
+        *write_lock(&self.synopses) = Arc::new(synopses);
+        drop(catalog_slot);
+        self.feedback.advance_table_epoch(table);
+        self.plan_cache.invalidate_table(table);
+
+        let mut partitions_touched = assignments;
+        partitions_touched.sort_unstable();
+        partitions_touched.dedup();
+        Ok(InsertSummary {
+            rows_inserted: rows.len(),
+            table_rows,
+            partitions_touched,
+        })
+    }
+
+    /// The streaming sketch statistics for a table, if ingest has
+    /// touched it (testing/inspection).
+    pub fn sketches_for(&self, table: &str) -> Option<Arc<TableSketches>> {
+        self.synopses().sketches_for(table).cloned()
     }
 
     /// The current global statistics epoch: 0 at construction, bumped by
@@ -335,9 +459,17 @@ impl Engine {
         self.feedback.epoch()
     }
 
-    /// The underlying catalog.
-    pub fn catalog(&self) -> &Arc<Catalog> {
-        &self.catalog
+    /// The current catalog snapshot.  Owned: the caller keeps one
+    /// consistent version even while concurrent ingest publishes
+    /// successors.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&read_lock(&self.catalog))
+    }
+
+    /// The current statistics snapshot (same semantics as
+    /// [`catalog`](Self::catalog)).
+    pub fn synopses(&self) -> Arc<SynopsisRepository> {
+        Arc::clone(&read_lock(&self.synopses))
     }
 
     /// The cost parameters execution is charged under.
@@ -376,11 +508,11 @@ impl Engine {
     /// observations steer the re-plan without touching shared state.
     pub fn optimizer_with_feedback(&self, feedback: Arc<FeedbackStore>) -> Optimizer {
         let est = RobustEstimator::new(
-            Arc::clone(&self.synopses),
+            self.synopses(),
             EstimatorConfig::with_threshold(self.threshold),
         )
         .with_feedback(feedback);
-        Optimizer::new(Arc::clone(&self.catalog), self.params, Arc::new(est))
+        Optimizer::new(self.catalog(), self.params, Arc::new(est))
     }
 
     /// The fingerprint under which this engine would cache a query's
@@ -445,8 +577,9 @@ impl Engine {
             Some(planned) => Arc::clone(planned),
             None => Arc::new(self.optimizer().optimize_with(query, self.selection)),
         };
+        let catalog = self.catalog();
         let (batch, cost) =
-            rqo_exec::try_execute_with(&planned.plan, &self.catalog, &self.params, opts)?;
+            rqo_exec::try_execute_with(&planned.plan, &catalog, &self.params, opts)?;
         if cached.is_none() {
             self.plan_cache
                 .insert_shared(fingerprint, Arc::clone(&planned));
@@ -527,6 +660,9 @@ impl Engine {
         // is replayed onto the shared store only on completion.
         let fork = Arc::new(self.feedback.fork());
         let mut pending: Vec<(u64, NodeAnnotation)> = Vec::new();
+        // One catalog snapshot for the whole adaptive run: re-plans and
+        // resumed fragments must see the data the tripped plan ran over.
+        let catalog = self.catalog();
 
         loop {
             // Guards stay armed while the re-plan budget lasts; the final
@@ -549,7 +685,7 @@ impl Engine {
             };
             let status = execute_guarded(
                 &planned.plan,
-                &self.catalog,
+                &catalog,
                 &self.params,
                 opts,
                 &guards,
@@ -652,8 +788,9 @@ impl Engine {
         opts: &ExecOptions,
     ) -> Result<AnalyzedOutcome, StopReason> {
         let planned = Arc::new(self.optimizer().optimize_with(query, self.selection));
+        let catalog = self.catalog();
         let (batch, cost, mut metrics) =
-            rqo_exec::try_execute_analyze(&planned.plan, &self.catalog, &self.params, opts)?;
+            rqo_exec::try_execute_analyze(&planned.plan, &catalog, &self.params, opts)?;
         let planned = self
             .plan_cache
             .insert_shared(self.fingerprint(query), planned);
@@ -685,8 +822,9 @@ impl Engine {
         opts: &ExecOptions,
     ) -> Result<AnalyzedOutcome, StopReason> {
         let planned = self.optimizer().optimize_with(query, self.selection);
+        let catalog = self.catalog();
         let (batch, cost, mut metrics) =
-            rqo_exec::try_execute_analyze(&planned.plan, &self.catalog, &self.params, opts)?;
+            rqo_exec::try_execute_analyze(&planned.plan, &catalog, &self.params, opts)?;
         metrics.annotate(&planned.node_estimates());
         let outcome = self.outcome(&planned, batch, cost.seconds(&self.params));
         Ok(AnalyzedOutcome { outcome, metrics })

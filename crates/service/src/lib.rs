@@ -32,7 +32,9 @@ pub mod pool;
 pub mod proto;
 pub mod service;
 
-pub use engine::{AdaptiveOutcome, AnalyzedOutcome, Engine, QueryOutcome, ReplanEvent};
+pub use engine::{
+    AdaptiveOutcome, AnalyzedOutcome, Engine, InsertSummary, QueryOutcome, ReplanEvent,
+};
 pub use net::{ClientError, NetClient, NetServer, NetServerConfig, NetStats, QueryReply};
 pub use pool::WorkerPool;
 pub use proto::{ErrorCode, ProtoError, Request, Response, RunMode};

@@ -117,6 +117,10 @@ pub struct NetStats {
     pub tenant_rejections: u64,
     /// In-flight queries cancelled because their client disconnected.
     pub disconnect_cancels: u64,
+    /// Insert batches answered with [`Response::InsertOk`].
+    pub inserts_ok: u64,
+    /// Insert batches answered with a typed [`Response::Error`].
+    pub inserts_err: u64,
 }
 
 impl fmt::Display for NetStats {
@@ -124,7 +128,8 @@ impl fmt::Display for NetStats {
         write!(
             f,
             "accepted={} rejected_conn_limit={} active={} protocol_errors={} \
-             queries_ok={} queries_err={} tenant_rejections={} disconnect_cancels={}",
+             queries_ok={} queries_err={} tenant_rejections={} disconnect_cancels={} \
+             inserts_ok={} inserts_err={}",
             self.accepted,
             self.rejected_conn_limit,
             self.active,
@@ -133,6 +138,8 @@ impl fmt::Display for NetStats {
             self.queries_err,
             self.tenant_rejections,
             self.disconnect_cancels,
+            self.inserts_ok,
+            self.inserts_err,
         )
     }
 }
@@ -147,6 +154,8 @@ struct NetStatsCells {
     queries_err: AtomicU64,
     tenant_rejections: AtomicU64,
     disconnect_cancels: AtomicU64,
+    inserts_ok: AtomicU64,
+    inserts_err: AtomicU64,
 }
 
 impl NetStatsCells {
@@ -160,6 +169,8 @@ impl NetStatsCells {
             queries_err: self.queries_err.load(Ordering::SeqCst),
             tenant_rejections: self.tenant_rejections.load(Ordering::SeqCst),
             disconnect_cancels: self.disconnect_cancels.load(Ordering::SeqCst),
+            inserts_ok: self.inserts_ok.load(Ordering::SeqCst),
+            inserts_err: self.inserts_err.load(Ordering::SeqCst),
         }
     }
 }
@@ -505,6 +516,11 @@ fn executor_loop(
                     break;
                 }
             }
+            ConnEvent::Req(Request::Insert { id, table, rows }) => {
+                if !handle_insert(inner, &mut stream, &tenant, id, &table, rows) {
+                    break;
+                }
+            }
             ConnEvent::Bad(e) => {
                 inner.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
                 let _ = send(
@@ -622,6 +638,59 @@ fn handle_run(
             ErrorCode::Internal,
             "query execution panicked".into(),
         ),
+    }
+}
+
+/// Ingests one insert batch; returns `false` if the connection is
+/// unwritable and should close.
+///
+/// Inserts run on the connection's executor thread under the same
+/// per-tenant quota as queries (an insert occupies one unit of the
+/// tenant's in-flight budget while it holds the catalog write lock),
+/// and a panic inside the storage layer ends the batch with a typed
+/// [`ErrorCode::Internal`] — never the server.
+fn handle_insert(
+    inner: &Arc<NetInner>,
+    stream: &mut TcpStream,
+    tenant: &str,
+    id: u64,
+    table: &str,
+    rows: Vec<Vec<Value>>,
+) -> bool {
+    let fail = |stream: &mut TcpStream, code: ErrorCode, message: String| {
+        inner.stats.inserts_err.fetch_add(1, Ordering::SeqCst);
+        send(stream, &Response::Error { id, code, message }).is_ok()
+    };
+
+    let _tenant_slot = match TenantSlot::acquire(inner, tenant) {
+        Some(slot) => slot,
+        None => {
+            inner.stats.tenant_rejections.fetch_add(1, Ordering::SeqCst);
+            return fail(
+                stream,
+                ErrorCode::TenantQuota,
+                format!("tenant {tenant:?} is at its in-flight quota"),
+            );
+        }
+    };
+
+    let engine = inner.service.engine();
+    let result = catch_unwind(AssertUnwindSafe(|| engine.insert_rows(table, &rows)));
+    match result {
+        Ok(Ok(summary)) => {
+            inner.stats.inserts_ok.fetch_add(1, Ordering::SeqCst);
+            send(
+                stream,
+                &Response::InsertOk {
+                    id,
+                    rows_inserted: summary.rows_inserted as u64,
+                    table_rows: summary.table_rows as u64,
+                },
+            )
+            .is_ok()
+        }
+        Ok(Err(e)) => fail(stream, ErrorCode::BadQuery, e.to_string()),
+        Err(_) => fail(stream, ErrorCode::Internal, "insert panicked".into()),
     }
 }
 
@@ -823,6 +892,32 @@ impl NetClient {
                 }
                 other => return Err(unexpected(other)),
             }
+        }
+    }
+
+    /// Appends `rows` to `table`; returns `(rows_inserted, table_rows)`
+    /// on success.  The batch is atomic server-side: a schema violation
+    /// anywhere in it rejects the whole batch.
+    pub fn insert(
+        &mut self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<(u64, u64), ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request::Insert {
+            id,
+            table: table.to_string(),
+            rows,
+        };
+        write_frame(&mut self.stream, &req.encode())?;
+        match self.recv()? {
+            Response::InsertOk {
+                id: rid,
+                rows_inserted,
+                table_rows,
+            } if rid == id => Ok((rows_inserted, table_rows)),
+            other => Err(unexpected(other)),
         }
     }
 

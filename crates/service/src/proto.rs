@@ -57,11 +57,13 @@ pub const DEFAULT_BATCH_ROWS: usize = 256;
 const TAG_HELLO: u8 = 0x01;
 const TAG_RUN: u8 = 0x02;
 const TAG_PING: u8 = 0x03;
+const TAG_INSERT: u8 = 0x04;
 // Server → client frame tags.
 const TAG_BATCH: u8 = 0x81;
 const TAG_DONE: u8 = 0x82;
 const TAG_ERROR: u8 = 0x83;
 const TAG_PONG: u8 = 0x84;
+const TAG_INSERT_OK: u8 = 0x85;
 
 /// Why a frame (or a stream of frames) could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -235,6 +237,18 @@ pub enum Request {
         /// Echoed opaque value.
         nonce: u64,
     },
+    /// Appends a batch of rows to one table.  The batch is atomic:
+    /// either every row is validated against the table's schema and
+    /// ingested, or none are and the server answers with
+    /// [`ErrorCode::BadQuery`].
+    Insert {
+        /// Client-chosen request id, echoed on the reply frame.
+        id: u64,
+        /// Destination table.
+        table: String,
+        /// The rows, each in schema column order.
+        rows: Vec<Vec<Value>>,
+    },
 }
 
 /// A server → client message.
@@ -279,6 +293,15 @@ pub enum Response {
     Pong {
         /// The request's nonce.
         nonce: u64,
+    },
+    /// Terminates a successful [`Request::Insert`].
+    InsertOk {
+        /// Request id.
+        id: u64,
+        /// Rows ingested by this request.
+        rows_inserted: u64,
+        /// The table's total row count after the insert.
+        table_rows: u64,
     },
 }
 
@@ -832,6 +855,19 @@ impl Request {
                 e.u64(*nonce);
                 e.buf
             }
+            Request::Insert { id, table, rows } => {
+                let mut e = Enc::new(TAG_INSERT);
+                e.u64(*id);
+                e.str(table);
+                e.u32(rows.len() as u32);
+                for row in rows {
+                    e.u32(row.len() as u32);
+                    for v in row {
+                        e.value(v);
+                    }
+                }
+                e.buf
+            }
         }
     }
 
@@ -863,6 +899,24 @@ impl Request {
                 }
             }
             TAG_PING => Request::Ping { nonce: d.u64()? },
+            TAG_INSERT => {
+                let id = d.u64()?;
+                let table = d.str()?;
+                if table.is_empty() {
+                    return Err(ProtoError::Invalid("insert into unnamed table"));
+                }
+                let n_rows = d.count(4)?;
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    let n_cols = d.count(1)?;
+                    let mut row = Vec::with_capacity(n_cols);
+                    for _ in 0..n_cols {
+                        row.push(d.value()?);
+                    }
+                    rows.push(row);
+                }
+                Request::Insert { id, table, rows }
+            }
             t => return Err(ProtoError::UnknownTag(t)),
         };
         d.finish()?;
@@ -919,6 +973,17 @@ impl Response {
                 e.u64(*nonce);
                 e.buf
             }
+            Response::InsertOk {
+                id,
+                rows_inserted,
+                table_rows,
+            } => {
+                let mut e = Enc::new(TAG_INSERT_OK);
+                e.u64(*id);
+                e.u64(*rows_inserted);
+                e.u64(*table_rows);
+                e.buf
+            }
         }
     }
 
@@ -963,6 +1028,11 @@ impl Response {
                 Response::Error { id, code, message }
             }
             TAG_PONG => Response::Pong { nonce: d.u64()? },
+            TAG_INSERT_OK => Response::InsertOk {
+                id: d.u64()?,
+                rows_inserted: d.u64()?,
+                table_rows: d.u64()?,
+            },
             t => return Err(ProtoError::UnknownTag(t)),
         };
         d.finish()?;
@@ -1020,6 +1090,20 @@ mod tests {
             deadline_ms: 1500,
             query: sample_query(),
         });
+        roundtrip_request(&Request::Insert {
+            id: 9,
+            table: "lineitem".into(),
+            rows: vec![
+                vec![Value::Int(1), Value::str("a"), Value::Float(0.5)],
+                vec![Value::Int(2), Value::str("b"), Value::Float(1.5)],
+            ],
+        });
+        // An empty batch is wire-legal (the server treats it as a no-op).
+        roundtrip_request(&Request::Insert {
+            id: 10,
+            table: "part".into(),
+            rows: vec![],
+        });
     }
 
     #[test]
@@ -1045,6 +1129,52 @@ mod tests {
             message: "bad frame".into(),
         });
         roundtrip_response(&Response::Pong { nonce: 1 });
+        roundtrip_response(&Response::InsertOk {
+            id: 9,
+            rows_inserted: 2,
+            table_rows: 6007,
+        });
+    }
+
+    #[test]
+    fn insert_decode_is_defensive() {
+        // Unnamed table.
+        let mut e = Enc::new(TAG_INSERT);
+        e.u64(1);
+        e.str("");
+        e.u32(0);
+        assert_eq!(
+            Request::decode(&e.buf),
+            Err(ProtoError::Invalid("insert into unnamed table"))
+        );
+
+        // A row count that cannot fit the remaining bytes is rejected
+        // before allocation.
+        let mut e = Enc::new(TAG_INSERT);
+        e.u64(1);
+        e.str("t");
+        e.u32(u32::MAX);
+        assert_eq!(Request::decode(&e.buf), Err(ProtoError::Truncated));
+
+        // Truncated mid-value.
+        let mut body = Request::Insert {
+            id: 2,
+            table: "t".into(),
+            rows: vec![vec![Value::Int(5)]],
+        }
+        .encode();
+        body.truncate(body.len() - 3);
+        assert_eq!(Request::decode(&body), Err(ProtoError::Truncated));
+
+        // Trailing bytes after a complete message.
+        let mut body = Request::Insert {
+            id: 3,
+            table: "t".into(),
+            rows: vec![],
+        }
+        .encode();
+        body.push(0);
+        assert_eq!(Request::decode(&body), Err(ProtoError::TrailingBytes(1)));
     }
 
     #[test]

@@ -157,6 +157,72 @@ fn concurrent_wire_results_match_in_process_sessions() {
     }
 }
 
+/// Fresh `part` rows (keys past the generated range, so unique indexes
+/// stay unique) that shift the answers of every part-touching query.
+fn part_batch(engine: &Engine) -> Vec<Vec<Value>> {
+    let catalog = engine.catalog();
+    let part = catalog.table("part").unwrap();
+    let key = part.schema().expect_index("p_partkey");
+    let max_key = (0..part.num_rows())
+        .map(|i| match part.value(i as u32, key) {
+            Value::Int(k) => k,
+            other => panic!("p_partkey should be Int, got {other:?}"),
+        })
+        .max()
+        .expect("part is non-empty");
+    (0..25i64)
+        .map(|i| {
+            let mut row = part.row(i as u32 % part.num_rows() as u32);
+            row[key] = Value::Int(max_key + 1 + i);
+            row
+        })
+        .collect()
+}
+
+#[test]
+fn insert_then_query_over_wire_matches_in_process() {
+    // Ground truth: an in-process session on an identically-seeded
+    // engine, ingesting the same batch before the same workload.
+    let truth_engine = engine();
+    let batch = part_batch(&truth_engine);
+    let truth_summary = truth_engine
+        .insert_rows("part", &batch)
+        .expect("in-process ingest");
+    let truth: Vec<Core> = {
+        let service = QueryService::new(truth_engine, ServiceConfig::default());
+        let session = service.session();
+        workload()
+            .iter()
+            .map(|q| {
+                let o = session.run(q).expect("in-process run");
+                Core::of(o.rows, o.columns, o.simulated_seconds, 0)
+            })
+            .collect()
+    };
+
+    // The wire twin: same engine seed, same batch, but ingested through
+    // a TCP Insert frame.
+    let service = QueryService::new(engine(), ServiceConfig::default());
+    let server = NetServer::bind(service, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let (inserted, total) = client.insert("part", batch).expect("wire ingest");
+    assert_eq!(inserted as usize, truth_summary.rows_inserted);
+    assert_eq!(total as usize, truth_summary.table_rows);
+
+    for (qi, query) in workload().iter().enumerate() {
+        let reply = client.run(query).expect("wire query succeeds");
+        assert_eq!(
+            Core::from_reply(reply),
+            truth[qi],
+            "post-ingest divergence at query {qi}"
+        );
+    }
+    let net = server.stats();
+    assert_eq!(net.inserts_ok, 1, "{net}");
+    assert_eq!(net.inserts_err, 0, "{net}");
+    assert_eq!(net.protocol_errors, 0, "{net}");
+}
+
 #[test]
 fn adaptive_wire_replay_matches_in_process_order() {
     // Adaptive runs consume the feedback earlier adaptive runs publish,

@@ -16,6 +16,7 @@ use rqo_optimizer::Query;
 use rqo_service::net::{ClientError, NetClient, NetServer, NetServerConfig};
 use rqo_service::proto::{write_frame, ErrorCode, Request, Response};
 use rqo_service::{Engine, QueryService, ServiceConfig};
+use rqo_storage::Value;
 
 fn serve() -> NetServer {
     let data = TpchData::generate(&TpchConfig {
@@ -71,6 +72,34 @@ fn poison_frames() -> Vec<Vec<u8>> {
     let mut f = Vec::new();
     write_frame(&mut f, &body).unwrap();
     frames.push(f);
+    // Insert into an unnamed table.
+    let mut body = vec![0x04u8];
+    body.extend_from_slice(&1u64.to_le_bytes()); // id
+    body.extend_from_slice(&0u32.to_le_bytes()); // empty table name
+    body.extend_from_slice(&0u32.to_le_bytes()); // zero rows
+    let mut f = Vec::new();
+    write_frame(&mut f, &body).unwrap();
+    frames.push(f);
+    // Insert with a row-count lie (u32::MAX rows in a tiny frame).
+    let mut body = vec![0x04u8];
+    body.extend_from_slice(&2u64.to_le_bytes()); // id
+    body.extend_from_slice(&4u32.to_le_bytes()); // name length
+    body.extend_from_slice(b"part");
+    body.extend_from_slice(&u32::MAX.to_le_bytes()); // row count
+    let mut f = Vec::new();
+    write_frame(&mut f, &body).unwrap();
+    frames.push(f);
+    // Insert cut off mid-value (one row promised, payload ends inside it).
+    let mut body = vec![0x04u8];
+    body.extend_from_slice(&3u64.to_le_bytes()); // id
+    body.extend_from_slice(&4u32.to_le_bytes()); // name length
+    body.extend_from_slice(b"part");
+    body.extend_from_slice(&1u32.to_le_bytes()); // one row
+    body.extend_from_slice(&1u32.to_le_bytes()); // one column
+    body.push(1); // Value::Int discriminant, missing its 8 payload bytes
+    let mut f = Vec::new();
+    write_frame(&mut f, &body).unwrap();
+    frames.push(f);
     frames
 }
 
@@ -104,13 +133,21 @@ fn poison_frames_get_typed_errors_and_leak_nothing() {
         drop(stream);
     }
 
+    // The half-frame connection above may not even be accepted yet, so
+    // poll the counter to its expected value instead of racing it.
+    let expected = poison_frames().len() as u64 + 1;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().protocol_errors < expected {
+        assert!(
+            Instant::now() < deadline,
+            "every poison frame (and the truncated one) counted: {}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
     await_quiescent(&server);
     let net = server.stats();
-    assert_eq!(
-        net.protocol_errors,
-        poison_frames().len() as u64 + 1,
-        "every poison frame (and the truncated one) counted: {net}"
-    );
+    assert_eq!(net.protocol_errors, expected, "no over-count either: {net}");
 
     // Nothing leaked and the server still works.
     let service_stats = server.service().stats();
@@ -146,6 +183,61 @@ fn unknown_tables_and_columns_are_bad_query_not_panic() {
     let stats = server.service().stats();
     assert!(stats.slots_balanced());
     assert_eq!(stats.panicked, 0);
+}
+
+#[test]
+fn bad_insert_batches_are_typed_errors_not_panics() {
+    let server = serve();
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let width = {
+        let catalog = server.service().engine().catalog();
+        catalog.table("part").unwrap().schema().len()
+    };
+
+    // Unknown table.
+    match client.insert("no_such_table", vec![vec![Value::Int(1); width]]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadQuery),
+        other => panic!("expected BadQuery, got {other:?}"),
+    }
+    // Wrong arity.
+    match client.insert("part", vec![vec![Value::Int(1)]]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadQuery),
+        other => panic!("expected BadQuery, got {other:?}"),
+    }
+    // Wrong type in every column.
+    match client.insert("part", vec![vec![Value::Bool(true); width]]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadQuery),
+        other => panic!("expected BadQuery, got {other:?}"),
+    }
+    // NULLs are not storable.
+    match client.insert("part", vec![vec![Value::Null; width]]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadQuery),
+        other => panic!("expected BadQuery, got {other:?}"),
+    }
+
+    // None of the rejected batches changed the table, the connection
+    // survived (BadQuery is not connection-fatal), and nothing leaked.
+    let before = server
+        .service()
+        .engine()
+        .catalog()
+        .table("part")
+        .unwrap()
+        .num_rows();
+    let reply = client.run(&count_query()).expect("connection survives");
+    assert_eq!(reply.rows[0][0], Value::Int(before as i64));
+
+    let stats = server.service().stats();
+    assert!(stats.slots_balanced(), "slot leak: {stats}");
+    assert_eq!(stats.panicked, 0);
+    let net = server.stats();
+    assert_eq!(net.inserts_ok, 0);
+    assert_eq!(net.inserts_err, 4, "each bad batch counted once: {net}");
+    assert_eq!(
+        net.protocol_errors, 0,
+        "schema errors are not protocol errors"
+    );
 }
 
 #[test]

@@ -180,10 +180,22 @@ fn query_from(s: &mut Script) -> Query {
 }
 
 fn request_from(s: &mut Script) -> Request {
-    match s.small(3) {
+    match s.small(4) {
         0 => Request::Hello { tenant: s.string() },
         1 => Request::Ping {
             nonce: s.i64() as u64,
+        },
+        2 => Request::Insert {
+            id: s.i64() as u64,
+            // Decode rejects empty table names, so force a prefix.
+            table: format!("t{}", s.string()),
+            rows: {
+                let n = s.small(4) as usize;
+                let width = s.small(4) as usize;
+                (0..n)
+                    .map(|_| (0..width).map(|_| value_from(s)).collect())
+                    .collect()
+            },
         },
         _ => Request::Run {
             id: s.i64() as u64,
@@ -199,7 +211,7 @@ fn request_from(s: &mut Script) -> Request {
 }
 
 fn response_from(s: &mut Script) -> Response {
-    match s.small(4) {
+    match s.small(5) {
         0 => Response::Batch {
             id: s.i64() as u64,
             rows: {
@@ -225,6 +237,11 @@ fn response_from(s: &mut Script) -> Response {
             id: s.i64() as u64,
             code: rqo_service::proto::ErrorCode::Protocol,
             message: s.string(),
+        },
+        3 => Response::InsertOk {
+            id: s.i64() as u64,
+            rows_inserted: s.small(100) as u64,
+            table_rows: s.i64() as u64,
         },
         _ => Response::Pong {
             nonce: s.i64() as u64,

@@ -24,10 +24,12 @@
 pub mod distinct;
 pub mod histogram;
 pub mod sampler;
+pub mod sketch;
 pub mod synopsis;
 
 pub use histogram::EquiDepthHistogram;
 pub use sampler::{
     sample_with_replacement, sample_without_replacement, sample_without_replacement_sorted,
 };
+pub use sketch::{DistinctSketch, RowReservoir, SketchRepository, TableSketches};
 pub use synopsis::{JoinSynopsis, SynopsisRepository};

@@ -268,6 +268,11 @@ pub struct SynopsisRepository {
     /// pieces aligned to the catalog's partition layout.
     pieces: Vec<(String, Vec<JoinSynopsis>)>,
     sample_size: usize,
+    /// Streaming sketch statistics for tables touched by ingest.  Empty
+    /// until the first insert; once a table streams, its distinct
+    /// counts come from merged per-partition sketches instead of the
+    /// (stale) offline sample.
+    sketches: crate::sketch::SketchRepository,
 }
 
 /// Splits `sample_size` across partitions proportionally to their row
@@ -328,6 +333,7 @@ impl SynopsisRepository {
             synopses,
             pieces,
             sample_size,
+            sketches: crate::sketch::SketchRepository::new(),
         }
     }
 
@@ -428,6 +434,32 @@ impl SynopsisRepository {
     /// Total stored bytes across all synopses.
     pub fn stored_bytes(&self) -> usize {
         self.synopses.iter().map(JoinSynopsis::stored_bytes).sum()
+    }
+
+    /// Installs (or replaces) streaming sketch statistics for one
+    /// table.  Called by the ingest path each time a batch lands; the
+    /// repository itself is immutable-shared, so the engine clones,
+    /// publishes, and swaps — same lifecycle as a partial refresh.
+    pub fn publish_sketches(&mut self, sketches: std::sync::Arc<crate::sketch::TableSketches>) {
+        self.sketches.publish(sketches);
+    }
+
+    /// Streaming statistics for a table, if ingest has touched it.
+    pub fn sketches_for(
+        &self,
+        table: &str,
+    ) -> Option<&std::sync::Arc<crate::sketch::TableSketches>> {
+        self.sketches.for_table(table)
+    }
+
+    /// Distinct-count estimate for `table.column` from the merged
+    /// per-partition streaming sketches, or `None` when the table has
+    /// never streamed (callers fall back to the sample-based GEE /
+    /// jackknife estimators — the oracle path).
+    pub fn distinct_estimate(&self, table: &str, column: &str) -> Option<f64> {
+        let sketches = self.sketches.for_table(table)?;
+        let col = sketches.column_index(column)?;
+        Some(sketches.column_distinct(col))
     }
 }
 

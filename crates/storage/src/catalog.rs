@@ -13,6 +13,7 @@ use crate::error::StorageError;
 use crate::index::{SecondaryIndex, UniqueIndex};
 use crate::partition::Partitioning;
 use crate::table::Table;
+use crate::value::Value;
 
 /// Opaque identifier of a registered table (its registration order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -259,6 +260,55 @@ impl Catalog {
     pub fn unique_index(&self, table: &str, column: &str) -> Option<&Arc<UniqueIndex>> {
         self.unique.get(&(table.to_string(), column.to_string()))
     }
+
+    /// Appends a batch of rows to a registered table, returning each
+    /// row's partition (all `0` for unpartitioned tables) in input
+    /// order — the streaming-statistics layer feeds those assignments
+    /// to its per-partition sketches.
+    ///
+    /// Tables are immutable, so this replaces the table's `Arc` with an
+    /// extended successor (other `Catalog` clones sharing the old `Arc`
+    /// keep seeing the pre-insert snapshot).  For partitioned tables
+    /// the canonical concatenation is rebuilt so partitions stay
+    /// contiguous RID spans and per-partition min/max widen to cover
+    /// the new keys.  Cached secondary/unique indexes on the table are
+    /// rebuilt eagerly — dropping them instead would silently change
+    /// access-path selection relative to a one-shot-built catalog.
+    ///
+    /// Ingest trusts the caller on *referential* integrity (FK edges
+    /// and key uniqueness are validated at registration, not per
+    /// batch); rows themselves are validated for arity/type/NULL and
+    /// the batch is rejected atomically on the first bad row.
+    pub fn append_rows(
+        &mut self,
+        name: &str,
+        rows: &[Vec<Value>],
+    ) -> Result<Vec<usize>, StorageError> {
+        let id = self.table_id(name)?;
+        let table = &self.tables[id.0];
+        let (new_table, assignments) = match self.partitions.get(name) {
+            Some(layout) => {
+                let (t, new_layout, assignments) = layout.append(table, rows)?;
+                self.partitions
+                    .insert(name.to_string(), Arc::new(new_layout));
+                (t, assignments)
+            }
+            None => (table.appended(rows)?, vec![0; rows.len()]),
+        };
+        self.tables[id.0] = Arc::new(new_table);
+        let table = Arc::clone(&self.tables[id.0]);
+        for (key, idx) in self.secondary.iter_mut() {
+            if key.0 == name {
+                *idx = Arc::new(SecondaryIndex::build(&table, &key.1));
+            }
+        }
+        for (key, idx) in self.unique.iter_mut() {
+            if key.0 == name {
+                *idx = Arc::new(UniqueIndex::build(&table, &key.1));
+            }
+        }
+        Ok(assignments)
+    }
 }
 
 #[cfg(test)]
@@ -391,6 +441,70 @@ mod tests {
         let layout = Partitioning::new(spec, vec![0..2], vec![None]);
         let err = cat.add_partitioned_table(make_table("t", &[1, 2, 3], None), layout);
         assert!(matches!(err, Err(StorageError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn append_rows_replaces_table_and_rebuilds_indexes() {
+        let mut cat = catalog_with_fk();
+        let before = Arc::clone(cat.table("child").unwrap());
+        cat.ensure_secondary_index("child", "fk").unwrap();
+        let assignments = cat
+            .append_rows("child", &[vec![Value::Int(14), Value::Int(2)]])
+            .unwrap();
+        assert_eq!(
+            assignments,
+            vec![0],
+            "unpartitioned rows land in partition 0"
+        );
+        assert_eq!(cat.table("child").unwrap().num_rows(), 5);
+        assert_eq!(before.num_rows(), 4, "old snapshot Arc still intact");
+        // The cached secondary index was rebuilt over the new table.
+        let idx = cat.secondary_index("child", "fk").unwrap();
+        assert_eq!(idx.num_entries(), 5);
+        // The parent pk unique index (built by add_foreign_key) is
+        // untouched by an insert into child.
+        assert!(cat.unique_index("parent", "pk").is_some());
+        // Bad batches are typed errors, not panics, and change nothing.
+        assert!(matches!(
+            cat.append_rows("child", &[vec![Value::Int(1)]]),
+            Err(StorageError::SchemaMismatch(_))
+        ));
+        assert!(matches!(
+            cat.append_rows("nope", &[]),
+            Err(StorageError::UnknownTable(_))
+        ));
+        assert_eq!(cat.table("child").unwrap().num_rows(), 5);
+    }
+
+    #[test]
+    fn append_rows_routes_through_partitioning() {
+        use crate::partition::{PartitionSpec, PartitionedTableBuilder};
+        let mut cat = Catalog::new();
+        let mut b = PartitionedTableBuilder::new(
+            "pt",
+            Schema::from_pairs(&[("pk", DataType::Int)]),
+            PartitionSpec::Range {
+                column: "pk".into(),
+                bounds: vec![Value::Int(2)],
+            },
+        );
+        for k in [0i64, 1, 2, 3] {
+            b.push_row(&[Value::Int(k)]);
+        }
+        let (t, p) = b.finish();
+        cat.add_partitioned_table(t, p).unwrap();
+        let assignments = cat
+            .append_rows("pt", &[vec![Value::Int(1)], vec![Value::Int(9)]])
+            .unwrap();
+        assert_eq!(assignments, vec![0, 1]);
+        assert_eq!(cat.table("pt").unwrap().num_rows(), 6);
+        let layout = cat.partitioning("pt").unwrap();
+        assert_eq!(layout.spans(), &[0..3, 3..6]);
+        assert_eq!(
+            layout.min_max(1),
+            Some(&(Value::Int(2), Value::Int(9))),
+            "max widened by the appended key"
+        );
     }
 
     #[test]

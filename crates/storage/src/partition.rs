@@ -22,8 +22,9 @@
 
 use std::ops::Range;
 
+use crate::error::StorageError;
 use crate::schema::Schema;
-use crate::table::{Table, TableBuilder};
+use crate::table::{check_row, Table, TableBuilder};
 use crate::value::Value;
 
 /// How a table's rows are assigned to partitions.
@@ -193,6 +194,83 @@ impl Partitioning {
     /// Total rows across the named partitions.
     pub fn rows_in(&self, partitions: &[usize]) -> usize {
         partitions.iter().map(|&p| self.spans[p].len()).sum()
+    }
+
+    /// Routes `rows` into their partitions and rebuilds the canonical
+    /// concatenated table so every partition remains one contiguous RID
+    /// span: partition `p`'s new span holds its old rows (in order)
+    /// followed by the batch's rows routed to `p` (in batch order) —
+    /// exactly the layout a one-shot [`PartitionedTableBuilder`] build
+    /// over the combined row stream would produce, which is what keeps
+    /// streamed and one-shot tables bit-identical.
+    ///
+    /// Returns the new table, the updated layout (spans re-derived,
+    /// per-partition min/max widened by the new keys), and each input
+    /// row's partition, in input order — the ingest path feeds those
+    /// assignments to the per-partition sketches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::SchemaMismatch`] when any row fails
+    /// arity/type/NULL validation; the batch is rejected atomically.
+    pub fn append(
+        &self,
+        table: &Table,
+        rows: &[Vec<Value>],
+    ) -> Result<(Table, Partitioning, Vec<usize>), StorageError> {
+        for row in rows {
+            check_row(table.schema(), row).map_err(StorageError::SchemaMismatch)?;
+        }
+        let key = table.schema().expect_index(self.spec.column());
+        let parts = self.partition_count();
+        let mut routed: Vec<Vec<&Vec<Value>>> = vec![Vec::new(); parts];
+        let mut assignments = Vec::with_capacity(rows.len());
+        let mut min_max = self.min_max.clone();
+        for row in rows {
+            let k = &row[key];
+            let p = self.spec.route(k);
+            if !k.is_null() {
+                min_max[p] = Some(match min_max[p].take() {
+                    None => (k.clone(), k.clone()),
+                    Some((lo, hi)) => (
+                        if k.total_cmp(&lo).is_lt() {
+                            k.clone()
+                        } else {
+                            lo
+                        },
+                        if k.total_cmp(&hi).is_gt() {
+                            k.clone()
+                        } else {
+                            hi
+                        },
+                    ),
+                });
+            }
+            routed[p].push(row);
+            assignments.push(p);
+        }
+        let mut builder = TableBuilder::new(
+            table.name().to_string(),
+            table.schema().clone(),
+            table.num_rows() + rows.len(),
+        );
+        let mut spans = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for (p, extra) in routed.iter().enumerate() {
+            let old = &self.spans[p];
+            for rid in old.clone() {
+                builder.push_row(&table.row(rid as crate::table::Rid));
+            }
+            for row in extra {
+                builder.push_row(row);
+            }
+            let len = old.len() + extra.len();
+            spans.push(start..start + len);
+            start += len;
+        }
+        let new_table = builder.finish();
+        let layout = Partitioning::new(self.spec.clone(), spans, min_max);
+        Ok((new_table, layout, assignments))
     }
 }
 
@@ -405,6 +483,57 @@ mod tests {
             partitions: 7,
         };
         assert_eq!(hash.route(&Value::Null), 0);
+    }
+
+    #[test]
+    fn append_matches_one_shot_build() {
+        let spec = PartitionSpec::Range {
+            column: "k".into(),
+            bounds: vec![Value::Int(10), Value::Int(20)],
+        };
+        let first: Vec<i64> = vec![25, 5, 15, 9];
+        let second: Vec<i64> = vec![10, 19, 20, 3];
+        let (t1, p1) = build(spec.clone(), &first);
+        let batch: Vec<Vec<Value>> = second
+            .iter()
+            .map(|&k| vec![Value::Int(k), Value::Float(k as f64 / 2.0)])
+            .collect();
+        let (t2, p2, assignments) = p1.append(&t1, &batch).unwrap();
+        // Identical to routing all eight rows in one shot.
+        let all: Vec<i64> = first.iter().chain(&second).copied().collect();
+        let (t_ref, p_ref) = build(spec.clone(), &all);
+        assert_eq!(t2.num_rows(), t_ref.num_rows());
+        for r in 0..t_ref.num_rows() as u32 {
+            assert_eq!(t2.row(r), t_ref.row(r), "row {r}");
+        }
+        assert_eq!(p2.spans(), p_ref.spans());
+        for p in 0..p2.partition_count() {
+            assert_eq!(p2.min_max(p), p_ref.min_max(p), "partition {p} bounds");
+        }
+        // Assignments report where each batch row landed.
+        assert_eq!(
+            assignments,
+            second
+                .iter()
+                .map(|&k| spec.route(&Value::Int(k)))
+                .collect::<Vec<_>>()
+        );
+        // Original table/layout untouched.
+        assert_eq!(t1.num_rows(), 4);
+        assert_eq!(p1.spans().last().unwrap().end, 4);
+    }
+
+    #[test]
+    fn append_rejects_bad_rows() {
+        let spec = PartitionSpec::Hash {
+            column: "k".into(),
+            partitions: 2,
+        };
+        let (t, p) = build(spec, &[1, 2, 3]);
+        let err = p.append(&t, &[vec![Value::Int(1)]]);
+        assert!(matches!(err, Err(StorageError::SchemaMismatch(_))));
+        let err = p.append(&t, &[vec![Value::str("x"), Value::Float(0.0)]]);
+        assert!(matches!(err, Err(StorageError::SchemaMismatch(_))));
     }
 
     #[test]

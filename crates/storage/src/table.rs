@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use crate::error::StorageError;
 use crate::schema::Schema;
 use crate::value::{DataType, Value};
 
@@ -250,6 +251,64 @@ impl Table {
     pub fn column_refs(&self) -> Vec<crate::column::ColumnRef<'_>> {
         self.columns.iter().map(ColumnData::as_column_ref).collect()
     }
+
+    /// Returns a new table holding this table's rows followed by
+    /// `rows`, in order.  The original is untouched — tables are
+    /// immutable, so ingest builds a successor and republishes it
+    /// (the engine's snapshot semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::SchemaMismatch`] when any row's arity or
+    /// value types do not match the schema or a value is NULL; the
+    /// batch is rejected atomically (no partial append).
+    pub fn appended(&self, rows: &[Vec<Value>]) -> Result<Table, StorageError> {
+        for row in rows {
+            check_row(&self.schema, row).map_err(StorageError::SchemaMismatch)?;
+        }
+        let mut columns = self.columns.clone();
+        for row in rows {
+            for (col, v) in columns.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+        Ok(Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            num_rows: self.num_rows + rows.len(),
+        })
+    }
+}
+
+/// Validates one row against a schema: arity, NULL-freedom, and
+/// value-vs-column type (with the same `Int`→`Float` coercion storage
+/// applies).  Returns a message naming the offending column so the
+/// failure is diagnosable at the ingest boundary instead of deep inside
+/// a column kernel.
+pub(crate) fn check_row(schema: &Schema, row: &[Value]) -> Result<(), String> {
+    if row.len() != schema.len() {
+        return Err(format!(
+            "row arity {} != schema arity {}",
+            row.len(),
+            schema.len()
+        ));
+    }
+    for (meta, v) in schema.columns().iter().zip(row) {
+        if v.is_null() {
+            return Err(format!(
+                "stored tables do not accept NULL (column {:?})",
+                meta.name
+            ));
+        }
+        if !meta.data_type.accepts(v) {
+            return Err(format!(
+                "type mismatch: column {:?} is {} <- value {v:?}",
+                meta.name, meta.data_type
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Builder that appends rows and freezes into a [`Table`].
@@ -282,15 +341,14 @@ impl TableBuilder {
     /// Panics when the arity or any value type does not match the schema, or
     /// when a value is NULL (stored tables are fully populated).
     pub fn push_row(&mut self, row: &[Value]) {
-        assert_eq!(
-            row.len(),
-            self.schema.len(),
-            "row arity {} != schema arity {}",
-            row.len(),
-            self.schema.len()
-        );
+        // Validate the whole row up front so a bad value is reported
+        // against its schema column before any column vector grows —
+        // a mid-row panic would otherwise leave the builder with
+        // ragged column lengths.
+        if let Err(msg) = check_row(&self.schema, row) {
+            panic!("{msg}");
+        }
         for (col, v) in self.columns.iter_mut().zip(row) {
-            assert!(!v.is_null(), "stored tables do not accept NULL");
             col.push(v);
         }
     }
@@ -416,6 +474,96 @@ mod tests {
         let schema = Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]);
         let mut b = TableBuilder::new("t", schema, 1);
         b.push_row(&[Value::Int(1)]);
+    }
+
+    #[test]
+    fn wrong_type_is_reported_against_its_column() {
+        // Regression: a wrong-typed Value used to slip past push_row and
+        // only panic deep inside ColumnData::push with no column name.
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("price", DataType::Float)]);
+        let mut b = TableBuilder::new("t", schema, 1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.push_row(&[Value::Int(1), Value::str("oops")]);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("type mismatch"), "got {msg:?}");
+        assert!(msg.contains("price"), "names the column: {msg:?}");
+        // ...and the builder is still rectangular: the bad row touched
+        // no column vector.
+        assert_eq!(b.len(), 0);
+        b.push_row(&[Value::Int(1), Value::Float(2.0)]);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn appended_extends_without_mutating_original() {
+        let t = sample_table();
+        let t2 = t
+            .appended(&[vec![
+                Value::Int(4),
+                Value::Int(5), // Int coerces into the Float column
+                parse_date("1997-10-01"),
+                Value::str("B#12"),
+                Value::Bool(false),
+            ]])
+            .unwrap();
+        assert_eq!(t.num_rows(), 3, "original untouched");
+        assert_eq!(t2.num_rows(), 4);
+        assert_eq!(t2.value(3, 0), Value::Int(4));
+        assert_eq!(t2.value(3, 1), Value::Float(5.0));
+        // Dictionary code reuse: the appended brand shares the dict entry.
+        match t2.column_data(3) {
+            ColumnData::Str { codes, dict } => {
+                assert_eq!(dict.len(), 2);
+                assert_eq!(codes, &[0, 0, 1, 0]);
+            }
+            _ => panic!("expected Str column"),
+        }
+        // Old rows are bit-identical.
+        for r in 0..3u32 {
+            assert_eq!(t.row(r), t2.row(r));
+        }
+    }
+
+    #[test]
+    fn appended_rejects_bad_rows_atomically() {
+        let t = sample_table();
+        // Wrong arity.
+        assert!(matches!(
+            t.appended(&[vec![Value::Int(1)]]),
+            Err(StorageError::SchemaMismatch(_))
+        ));
+        // Wrong type in the SECOND row: nothing from the first sticks.
+        let good = t.row(0);
+        let bad = vec![
+            Value::str("not-an-int"),
+            Value::Float(0.0),
+            parse_date("1997-01-01"),
+            Value::str("B#1"),
+            Value::Bool(true),
+        ];
+        let err = t.appended(&[good, bad]).unwrap_err();
+        match err {
+            StorageError::SchemaMismatch(msg) => {
+                assert!(msg.contains("type mismatch"), "{msg}");
+                assert!(msg.contains("id"), "names the column: {msg}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(t.num_rows(), 3);
+        // NULL rejected with a typed error too.
+        let nul = vec![
+            Value::Null,
+            Value::Float(0.0),
+            parse_date("1997-01-01"),
+            Value::str("B#1"),
+            Value::Bool(true),
+        ];
+        assert!(matches!(
+            t.appended(&[nul]),
+            Err(StorageError::SchemaMismatch(m)) if m.contains("NULL")
+        ));
     }
 
     #[test]

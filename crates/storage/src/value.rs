@@ -26,6 +26,24 @@ pub enum DataType {
     Bool,
 }
 
+impl DataType {
+    /// True when a value of this static type can store `v`.
+    ///
+    /// Mirrors columnar storage's coercions exactly: a `Float` column
+    /// accepts `Int` values (widened on push); nothing else coerces,
+    /// and NULL is never storable (stored tables are fully populated).
+    pub fn accepts(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_) | Value::Int(_))
+                | (DataType::Date, Value::Date(_))
+                | (DataType::Str, Value::Str(_))
+                | (DataType::Bool, Value::Bool(_))
+        )
+    }
+}
+
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -269,7 +269,7 @@ fn main() {
 
     let (_, baseline_cost) = robust_qo::exec::execute_with(
         &baseline_plan.plan,
-        db.catalog(),
+        &db.catalog(),
         &CostParams::default(),
         &ExecOptions::with_threads(args.threads),
     );

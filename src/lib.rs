@@ -90,17 +90,18 @@ pub use rqo_stats as stats;
 pub use rqo_storage as storage;
 
 pub use rqo_service::{
-    AdaptiveOutcome, AnalyzedOutcome, ClientError, Engine, ErrorCode, NetClient, NetServer,
-    NetServerConfig, NetStats, ProtoError, QueryHandle, QueryOutcome, QueryReply, QueryService,
-    ReplanEvent, Request, Response, RunMode, ServiceError, ServiceStats, Session,
+    AdaptiveOutcome, AnalyzedOutcome, ClientError, Engine, ErrorCode, InsertSummary, NetClient,
+    NetServer, NetServerConfig, NetStats, ProtoError, QueryHandle, QueryOutcome, QueryReply,
+    QueryService, ReplanEvent, Request, Response, RunMode, ServiceError, ServiceStats, Session,
 };
 
 /// One-stop imports for applications and the examples.
 pub mod prelude {
     pub use crate::{
-        AdaptiveOutcome, AnalyzedOutcome, ClientError, Engine, ErrorCode, NetClient, NetServer,
-        NetServerConfig, NetStats, ProtoError, QueryHandle, QueryOutcome, QueryReply, QueryService,
-        ReplanEvent, Request, Response, RobustDb, RunMode, ServiceError, ServiceStats, Session,
+        AdaptiveOutcome, AnalyzedOutcome, ClientError, Engine, ErrorCode, InsertSummary, NetClient,
+        NetServer, NetServerConfig, NetStats, ProtoError, QueryHandle, QueryOutcome, QueryReply,
+        QueryService, ReplanEvent, Request, Response, RobustDb, RunMode, ServiceError,
+        ServiceStats, Session,
     };
     pub use rqo_core::{
         AdaptivePolicy, CardinalityEstimator, ConfidenceThreshold,
@@ -117,9 +118,9 @@ pub mod prelude {
     pub use rqo_expr::Expr;
     pub use rqo_optimizer::{CacheStats, PlanCache, PlanFingerprint};
     pub use rqo_optimizer::{Optimizer, PlannedQuery, Query};
-    pub use rqo_stats::SynopsisRepository;
+    pub use rqo_stats::{DistinctSketch, RowReservoir, SynopsisRepository, TableSketches};
     pub use rqo_storage::{
-        parse_date, Catalog, CostParams, DataType, Schema, Table, TableBuilder, Value,
+        parse_date, Catalog, CostParams, DataType, Schema, StorageError, Table, TableBuilder, Value,
     };
 }
 
@@ -129,7 +130,7 @@ use rqo_core::{
 };
 use rqo_exec::ExecOptions;
 use rqo_optimizer::{CacheStats, Optimizer, PlanCache, PlanFingerprint, PlannedQuery, Query};
-use rqo_storage::{Catalog, CostParams};
+use rqo_storage::{Catalog, CostParams, StorageError, Value};
 use std::sync::Arc;
 
 /// A batteries-included single-tenant database handle: catalog +
@@ -258,9 +259,31 @@ impl RobustDb {
         self.engine.stats_epoch()
     }
 
-    /// The underlying catalog.
-    pub fn catalog(&self) -> &Arc<Catalog> {
+    /// The current catalog snapshot.  Owned (not a borrow): the catalog
+    /// is a snapshot-swapped version under streaming ingest, so callers
+    /// hold one consistent version for as long as they keep the `Arc`.
+    pub fn catalog(&self) -> Arc<Catalog> {
         self.engine.catalog()
+    }
+
+    /// Appends a batch of rows to one table (streaming ingest).
+    ///
+    /// Publishes a new catalog + statistics snapshot: rows are routed to
+    /// their partitions, per-partition min/max and HLL distinct sketches
+    /// and reservoir samples update incrementally, and invalidation is
+    /// scoped to the touched table (its feedback epoch advances and only
+    /// its cached plans drop — warm plans for other tables survive).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`StorageError`] for unknown tables or rows failing
+    /// arity/type/NULL validation; failed batches change nothing.
+    pub fn insert_rows(
+        &self,
+        table: &str,
+        rows: &[Vec<Value>],
+    ) -> Result<InsertSummary, StorageError> {
+        self.engine.insert_rows(table, rows)
     }
 
     /// The active confidence threshold.

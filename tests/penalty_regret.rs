@@ -93,9 +93,10 @@ fn workload() -> Vec<Query> {
 fn penalty_total_regret_beats_every_fixed_threshold() {
     let db = db();
     let opt = db.optimizer();
-    let sorted = detect_sorted_columns(db.catalog());
+    let catalog = db.catalog();
+    let sorted = detect_sorted_columns(&catalog);
     let oracle = RecordingOracle {
-        inner: OracleEstimator::new(Arc::clone(db.catalog())),
+        inner: OracleEstimator::new(Arc::clone(&catalog)),
         store: Arc::clone(db.feedback()),
     };
 
@@ -126,8 +127,8 @@ fn penalty_total_regret_beats_every_fixed_threshold() {
     for (query, plans) in chosen {
         // 2. Observe: price each distinct plan once with the recording
         // oracle, capturing every request's true selectivity.
-        let model = CostModel::new(db.catalog(), opt.params());
-        let ctx = PlanContext::new(db.catalog(), model, &oracle, &sorted);
+        let model = CostModel::new(&catalog, opt.params());
+        let ctx = PlanContext::new(&catalog, model, &oracle, &sorted);
         for plan in &plans {
             price_plan(&ctx, &query, plan);
         }
@@ -135,13 +136,8 @@ fn penalty_total_regret_beats_every_fixed_threshold() {
         // 3. Replay through the database's own estimator — every request
         // now resolves from the observed feedback.
         let replay_est = db.optimizer();
-        let model = CostModel::new(db.catalog(), opt.params());
-        let ctx = PlanContext::new(
-            db.catalog(),
-            model,
-            replay_est.estimator().as_ref(),
-            &sorted,
-        );
+        let model = CostModel::new(&catalog, opt.params());
+        let ctx = PlanContext::new(&catalog, model, replay_est.estimator().as_ref(), &sorted);
         let realized: Vec<f64> = plans
             .iter()
             .map(|p| price_plan(&ctx, &query, p).cost_ms)

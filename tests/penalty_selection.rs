@@ -45,7 +45,8 @@ fn scan_query() -> Query {
 fn price_plan_reproduces_quantile_costing_at_every_hint() {
     let db = tpch_db();
     let opt = db.optimizer();
-    let sorted = detect_sorted_columns(db.catalog());
+    let catalog = db.catalog();
+    let sorted = detect_sorted_columns(&catalog);
     for query in [scan_query(), join_query()] {
         for t in [0.05, 0.5, 0.8, 0.95] {
             let hint = ConfidenceThreshold::new(t);
@@ -54,8 +55,8 @@ fn price_plan_reproduces_quantile_costing_at_every_hint() {
                 .estimator()
                 .hinted(hint)
                 .expect("robust estimator honours hints");
-            let model = CostModel::new(db.catalog(), opt.params());
-            let ctx = PlanContext::new(db.catalog(), model, hinted.as_ref(), &sorted);
+            let model = CostModel::new(&catalog, opt.params());
+            let ctx = PlanContext::new(&catalog, model, hinted.as_ref(), &sorted);
             let priced = price_plan(&ctx, &query, &planned.plan);
             assert_eq!(
                 priced.cost_ms,
